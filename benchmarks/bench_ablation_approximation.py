@@ -1,0 +1,24 @@
+"""Ablation benchmark: empirical check of the 2-approximation (Theorem 4.4).
+
+Runs the Stretch algorithm with 20 λ samples across all four workloads on
+SWAN and verifies that the *average* objective (an estimate of the
+expectation the theorem bounds) stays below twice the LP lower bound, and
+that the fixed choice λ = 1 (the heuristic) dominates the random choices in
+practice — the two findings the paper highlights when discussing Figure 6.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="ablation-approximation")
+def test_ablation_approximation(benchmark):
+    result = run_and_report(benchmark, "ablation_approximation", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        assert row[F.SERIES_AVERAGE_LAMBDA] <= 2.1 * bound
+        assert row[F.SERIES_BEST_LAMBDA] <= row[F.SERIES_AVERAGE_LAMBDA] + 1e-9
+        assert row[F.SERIES_HEURISTIC] <= row[F.SERIES_BEST_LAMBDA] + 1e-9
+        assert row[F.SERIES_HEURISTIC] >= bound - 1e-6

@@ -1,0 +1,28 @@
+"""Ablation benchmark: LP-based scheduling vs simple greedy heuristics.
+
+Not a paper figure — an extra comparison point showing what the LP machinery
+buys over the priority heuristics practitioners might reach for first
+(FIFO and weighted shortest-job-first), on contended SWAN workloads.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="ablation-baselines")
+def test_ablation_baselines(benchmark):
+    result = run_and_report(benchmark, "ablation_baselines", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        heuristic = row[F.SERIES_HEURISTIC]
+        assert heuristic >= bound - 1e-6
+        # The LP heuristic is never worse than FIFO beyond slotting noise and
+        # is close to the lower bound.
+        assert heuristic <= row[F.SERIES_FIFO] * 1.1
+        assert heuristic <= 1.6 * bound
+        # The greedy baselines are real schedules: no better than half the
+        # slotted LP bound (they run in continuous time).
+        assert row[F.SERIES_FIFO] >= 0.5 * bound
+        assert row[F.SERIES_WSJF] >= 0.5 * bound

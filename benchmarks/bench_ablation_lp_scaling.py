@@ -1,0 +1,94 @@
+"""Ablation benchmark: LP size and solve time vs grid granularity and model.
+
+The paper's Section 6.1 discusses the central engineering trade-off of the
+approach: finer time slots give better schedules but larger LPs.  This
+benchmark measures, on one SWAN workload, how the number of LP variables and
+the HiGHS solve time scale across
+
+* the two transmission models (single path vs free path), and
+* uniform grids of decreasing slot length vs geometric grids of growing ε,
+
+and checks the structural expectations (free path LPs are larger than single
+path LPs on the same instance; halving the slot length roughly doubles the
+variable count; geometric grids are dramatically smaller).
+"""
+
+import time
+
+import pytest
+
+from conftest import BENCH_SCALE
+from repro.core.timeindexed import build_time_indexed_lp, suggest_horizon
+from repro.lp.solver import solve_lp
+from repro.network.topologies import swan_topology
+from repro.schedule.timegrid import TimeGrid
+from repro.workloads.generator import WorkloadSpec, generate_instance
+
+
+def measure():
+    graph = swan_topology()
+    num_coflows = max(2, int(round(8 * BENCH_SCALE)))
+    spec = WorkloadSpec(
+        profile="TPC-DS", num_coflows=num_coflows, seed=42, demand_scale=1.5
+    )
+    rows = []
+    for model in ("single_path", "free_path"):
+        instance = generate_instance(graph, spec, model=model, rng=42)
+        base_slots = suggest_horizon(instance)
+        grids = {
+            "uniform(L=1)": TimeGrid.uniform(base_slots, 1.0),
+            "uniform(L=0.5)": TimeGrid.uniform(base_slots * 2, 0.5),
+            "geometric(eps=0.2)": TimeGrid.geometric(base_slots, 0.2),
+            "geometric(eps=0.5436)": TimeGrid.geometric(base_slots, 0.5436),
+        }
+        for grid_name, grid in grids.items():
+            start = time.perf_counter()
+            lp, _ = build_time_indexed_lp(instance, grid)
+            build_seconds = time.perf_counter() - start
+            result = solve_lp(lp, require_optimal=True)
+            rows.append(
+                {
+                    "model": model,
+                    "grid": grid_name,
+                    "slots": grid.num_slots,
+                    "variables": lp.num_variables,
+                    "constraints": lp.num_constraints,
+                    "build_seconds": build_seconds,
+                    "solve_seconds": result.solve_seconds,
+                    "objective": float(result.objective),
+                }
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-lp-scaling")
+def test_ablation_lp_scaling(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    print("\nmodel        grid                    slots   vars    constr  solve(s)")
+    for row in rows:
+        print(
+            f"{row['model']:<12s} {row['grid']:<22s} {row['slots']:>5d} "
+            f"{row['variables']:>7d} {row['constraints']:>7d} "
+            f"{row['solve_seconds']:>8.3f}"
+        )
+
+    by_key = {(r["model"], r["grid"]): r for r in rows}
+    for grid in ("uniform(L=1)", "uniform(L=0.5)"):
+        # Free path LPs carry the per-edge variables and are therefore larger.
+        assert (
+            by_key[("free_path", grid)]["variables"]
+            > by_key[("single_path", grid)]["variables"]
+        )
+    for model in ("single_path", "free_path"):
+        fine = by_key[(model, "uniform(L=0.5)")]
+        coarse = by_key[(model, "uniform(L=1)")]
+        assert fine["variables"] > 1.5 * coarse["variables"]
+        # Geometric grids are far smaller than uniform ones.
+        geo = by_key[(model, "geometric(eps=0.5436)")]
+        assert geo["variables"] < coarse["variables"]
+        # Coarser grids never produce a larger LP than finer geometric grids.
+        assert (
+            by_key[(model, "geometric(eps=0.5436)")]["slots"]
+            <= by_key[(model, "geometric(eps=0.2)")]["slots"]
+        )

@@ -1,0 +1,72 @@
+"""Ablation benchmark: the intermediate "k given paths" model.
+
+The paper's Section 2 points out that the LP framework handles the case
+"several paths are given, and we can use them together" between the single
+path and free path extremes.  This ablation sweeps the number of candidate
+paths per flow (k = 1, 2, 3) on a SWAN workload and verifies that the LP
+objective and the heuristic schedule interpolate monotonically between the
+single path and free path models.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.multipath import solve_multipath_lp
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.network.topologies import swan_topology
+from repro.workloads.generator import WorkloadSpec, generate_instance
+
+K_VALUES = (1, 2, 3)
+
+
+def run_sweep():
+    graph = swan_topology()
+    num_coflows = max(2, int(round(10 * BENCH_SCALE)))
+    spec = WorkloadSpec(
+        profile="TPC-DS", num_coflows=num_coflows, seed=77, demand_scale=1.5
+    )
+    instance = generate_instance(graph, spec, model="single_path", rng=77)
+    single = solve_time_indexed_lp(instance)
+    free = solve_time_indexed_lp(instance.with_model("free_path"), grid=single.grid)
+    rows = {
+        "single_path": {
+            "bound": single.objective,
+            "heuristic": lp_heuristic_schedule(single).weighted_completion_time(),
+        },
+        "free_path": {
+            "bound": free.objective,
+            "heuristic": lp_heuristic_schedule(free).weighted_completion_time(),
+        },
+    }
+    for k in K_VALUES:
+        solution = solve_multipath_lp(instance, k=k, grid=single.grid)
+        rows[f"multipath(k={k})"] = {
+            "bound": solution.objective,
+            "heuristic": lp_heuristic_schedule(solution).weighted_completion_time(),
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-multipath")
+def test_ablation_multipath(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    print("\nmodel               LP bound    heuristic")
+    for name, row in rows.items():
+        print(f"{name:<18s} {row['bound']:>10.1f} {row['heuristic']:>12.1f}")
+
+    free_bound = rows["free_path"]["bound"]
+    single_bound = rows["single_path"]["bound"]
+    bounds = [rows[f"multipath(k={k})"]["bound"] for k in K_VALUES]
+    # More candidate paths never hurt, and the sweep is sandwiched between
+    # the two extreme models.
+    for earlier, later in zip(bounds, bounds[1:]):
+        assert later <= earlier + 1e-6
+    for bound in bounds:
+        assert bound >= free_bound - 1e-6
+    # With the pinned path always among the candidates, even k = 1 is a
+    # relaxation of the single path model.
+    assert bounds[0] <= single_bound + 1e-6
+    # By k = 3 the gap to the free path model has closed substantially.
+    assert bounds[-1] <= free_bound + 0.25 * max(single_bound - free_bound, 1e-9) + 1e-6

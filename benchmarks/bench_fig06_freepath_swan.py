@@ -1,0 +1,32 @@
+"""Benchmark: paper Figure 6 — free path model on SWAN (weighted).
+
+Regenerates the four-workload comparison of the time-indexed LP lower bound,
+the LP heuristic (λ = 1), the best sampled λ and the average λ of the
+Stretch algorithm, and asserts the paper's qualitative findings:
+
+* the LP objective lower-bounds every algorithm,
+* the λ = 1 heuristic is the strongest practical choice and stays close to
+  the bound,
+* the expected Stretch objective respects the 2-approximation of Theorem 4.4.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig06-freepath-swan")
+def test_fig06_freepath_swan(benchmark):
+    result = run_and_report(benchmark, "fig06", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        assert row[F.SERIES_HEURISTIC] >= bound - 1e-6
+        assert row[F.SERIES_BEST_LAMBDA] >= bound - 1e-6
+        assert row[F.SERIES_BEST_LAMBDA] <= row[F.SERIES_AVERAGE_LAMBDA] + 1e-9
+        # Paper finding: lambda = 1 is the best choice across all experiments.
+        assert row[F.SERIES_HEURISTIC] <= row[F.SERIES_BEST_LAMBDA] + 1e-9
+        # Theorem 4.4 (expectation over lambda), with slotting slack.
+        assert row[F.SERIES_AVERAGE_LAMBDA] <= 2.1 * bound
+        # Paper finding: the heuristic tracks the bound closely.
+        assert row[F.SERIES_HEURISTIC] <= 1.5 * bound

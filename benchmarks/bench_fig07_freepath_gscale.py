@@ -1,0 +1,21 @@
+"""Benchmark: paper Figure 7 — free path model on G-Scale (weighted).
+
+Same series and checks as Figure 6, on Google's larger G-Scale WAN.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig07-freepath-gscale")
+def test_fig07_freepath_gscale(benchmark):
+    result = run_and_report(benchmark, "fig07", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        assert row[F.SERIES_HEURISTIC] >= bound - 1e-6
+        assert row[F.SERIES_HEURISTIC] <= row[F.SERIES_BEST_LAMBDA] + 1e-9
+        assert row[F.SERIES_BEST_LAMBDA] <= row[F.SERIES_AVERAGE_LAMBDA] + 1e-9
+        assert row[F.SERIES_AVERAGE_LAMBDA] <= 2.1 * bound
+        assert row[F.SERIES_HEURISTIC] <= 1.5 * bound

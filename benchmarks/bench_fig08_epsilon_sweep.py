@@ -1,0 +1,41 @@
+"""Benchmark: paper Figure 8 — impact of the time-interval parameter ε.
+
+Sweeps the geometric-grid parameter ε for the free path model on SWAN with
+the FB workload and checks the paper's observations: growing ε shrinks the
+LP (fewer variables, faster solves) while the quality of both the bound and
+the heuristic degrades.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig08-epsilon-sweep")
+def test_fig08_epsilon_sweep(benchmark):
+    result = run_and_report(benchmark, "fig08", BENCH_SCALE)
+    columns = list(result.values.keys())
+    eps_values = [float(c.split("=")[1]) for c in columns]
+    order = np.argsort(eps_values)
+
+    variables = np.array(
+        [result.values[columns[i]]["lp_variables"] for i in order]
+    )
+    heuristic = np.array(
+        [result.values[columns[i]][F.SERIES_INTERVAL_HEURISTIC] for i in order]
+    )
+    bound = np.array(
+        [result.values[columns[i]][F.SERIES_INTERVAL_LP_BOUND] for i in order]
+    )
+
+    # LP size shrinks monotonically as epsilon grows.
+    assert np.all(np.diff(variables) <= 0)
+    # The heuristic never beats the corresponding LP bound.
+    assert np.all(heuristic >= bound - 1e-6)
+    # Quality degrades overall: the coarsest grid is no better than the finest.
+    assert heuristic[-1] >= heuristic[0] - 1e-6
+    # Every heuristic value must remain a valid (>= bound) schedule value and
+    # the degradation from finest to coarsest should be visible but bounded.
+    assert heuristic[-1] <= 5.0 * heuristic[0]

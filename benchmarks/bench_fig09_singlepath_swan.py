@@ -1,0 +1,26 @@
+"""Benchmark: paper Figure 9 — single path model on SWAN (weighted).
+
+Regenerates the comparison of the time-indexed LP (bound + heuristic), the
+interval-indexed LP at ε = 0.2 (bound + heuristic) and the Jahanjou et al.
+baseline, and asserts the paper's central claim for this figure: the
+time-indexed LP heuristic improves significantly on Jahanjou et al.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig09-singlepath-swan")
+def test_fig09_singlepath_swan(benchmark):
+    result = run_and_report(benchmark, "fig09", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        assert row[F.SERIES_HEURISTIC] >= bound - 1e-6
+        assert row[F.SERIES_INTERVAL_HEURISTIC] >= row[F.SERIES_INTERVAL_LP_BOUND] - 1e-6
+        assert row[F.SERIES_JAHANJOU] >= bound - 1e-6
+        # Paper headline: "we significantly improved over Jahanjou et al.".
+        assert row[F.SERIES_HEURISTIC] < row[F.SERIES_JAHANJOU]
+        # The heuristic itself stays within a small factor of the bound.
+        assert row[F.SERIES_HEURISTIC] <= 1.6 * bound

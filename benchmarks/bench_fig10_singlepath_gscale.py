@@ -1,0 +1,20 @@
+"""Benchmark: paper Figure 10 — single path model on G-Scale (weighted).
+
+Same series and checks as Figure 9, on the larger G-Scale WAN.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig10-singlepath-gscale")
+def test_fig10_singlepath_gscale(benchmark):
+    result = run_and_report(benchmark, "fig10", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        assert row[F.SERIES_HEURISTIC] >= bound - 1e-6
+        assert row[F.SERIES_JAHANJOU] >= bound - 1e-6
+        assert row[F.SERIES_HEURISTIC] < row[F.SERIES_JAHANJOU]
+        assert row[F.SERIES_HEURISTIC] <= 1.6 * bound

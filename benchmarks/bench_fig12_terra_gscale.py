@@ -1,0 +1,21 @@
+"""Benchmark: paper Figure 12 — free path model, unweighted, G-Scale, vs Terra.
+
+Same series and checks as Figure 11 on Google's G-Scale WAN.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, run_and_report
+from repro.experiments import figures as F
+
+
+@pytest.mark.benchmark(group="fig12-terra-gscale")
+def test_fig12_terra_gscale(benchmark):
+    result = run_and_report(benchmark, "fig12", BENCH_SCALE)
+    for workload, row in result.values.items():
+        bound = row[F.SERIES_LP_BOUND]
+        heuristic = row[F.SERIES_HEURISTIC]
+        terra = row[F.SERIES_TERRA]
+        assert heuristic >= bound - 1e-6
+        assert terra <= 1.5 * heuristic
+        assert heuristic <= 2.0 * terra

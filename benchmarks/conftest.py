@@ -1,0 +1,52 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark module regenerates one figure (or ablation table) of the
+paper.  Because every run involves solving LPs, benchmarks execute exactly
+one round/iteration by default; they measure end-to-end experiment time and
+— more importantly — print the regenerated table and assert the qualitative
+"shape checks" recorded in EXPERIMENTS.md.
+
+The workload scale can be adjusted through the ``REPRO_BENCH_SCALE``
+environment variable (default 1.0 = the repository's default experiment
+sizes; larger values approach the paper's original 200-job traces at the
+cost of much longer LP solves).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Scale multiplier applied to every benchmark experiment.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+def run_and_report(benchmark, experiment_id: str, scale: float):
+    """Run one experiment under pytest-benchmark and print its table.
+
+    Returns the :class:`~repro.experiments.runner.ExperimentResult` so the
+    calling benchmark can assert its shape checks.
+    """
+    from repro.experiments import format_result_table, get_experiment, run_experiment
+
+    config = get_experiment(experiment_id)
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(config,),
+        kwargs={"scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_result_table(result))
+    return result

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""MapReduce shuffle scenario: the classic switch-model coflow setting.
+
+The original coflow abstraction (Chowdhury & Stoica) models a cluster as a
+giant non-blocking switch: every machine has bounded ingress/egress rates and
+a shuffle is a coflow of mapper->reducer flows.  The paper's footnote 1
+explains how that setting embeds into the general-graph model used here; this
+example builds the embedding explicitly with the switch gadget, schedules two
+competing shuffles plus a high-priority interactive query, and shows how
+weights steer the schedule.
+
+Run with::
+
+    python examples/mapreduce_shuffle.py
+"""
+
+from repro import Coflow, CoflowInstance, Flow, solve_coflow_schedule
+from repro.network.gadgets import machine_nodes, switch_fabric_topology
+
+
+def build_shuffle(name, mappers, reducers, data_per_pair, weight, release_time=0.0):
+    """An all-to-all shuffle coflow from *mappers* to *reducers*."""
+    flows = []
+    for m in mappers:
+        for r in reducers:
+            if m == r:
+                continue
+            flows.append(
+                Flow(m, r, data_per_pair, release_time=release_time,
+                     name=f"{m}->{r}")
+            )
+    return Coflow(flows, weight=weight, release_time=release_time, name=name)
+
+
+def main():
+    # An 6-machine cluster behind a non-blocking switch; each port moves one
+    # data unit per time slot in each direction.
+    graph = switch_fabric_topology(6, ingress_rate=1.0, egress_rate=1.0)
+    machines = machine_nodes(graph)
+
+    batch_shuffle = build_shuffle(
+        "batch-etl",
+        mappers=machines[:3],
+        reducers=machines[3:],
+        data_per_pair=2.0,
+        weight=1.0,
+    )
+    ml_shuffle = build_shuffle(
+        "ml-training",
+        mappers=machines[2:4],
+        reducers=machines[:2],
+        data_per_pair=1.5,
+        weight=5.0,
+        release_time=1.0,
+    )
+    interactive = Coflow(
+        [Flow(machines[5], machines[0], 0.5, release_time=2.0, name="query")],
+        weight=50.0,
+        release_time=2.0,
+        name="interactive-query",
+    )
+
+    instance = CoflowInstance(
+        graph,
+        [batch_shuffle, ml_shuffle, interactive],
+        model="free_path",
+        name="mapreduce-shuffles",
+    )
+    print(f"instance: {instance}\n")
+
+    for label, coflows in (
+        ("priority weights as configured", None),
+        ("all weights equal (no prioritisation)", [c.unweighted() for c in instance.coflows]),
+    ):
+        inst = instance if coflows is None else instance.with_coflows(coflows)
+        outcome = solve_coflow_schedule(inst, algorithm="lp-heuristic", rng=0)
+        times = outcome.schedule.coflow_completion_times()
+        print(f"--- {label} ---")
+        print(f"LP lower bound: {outcome.lower_bound:.2f}   "
+              f"weighted completion time: {outcome.objective:.2f}")
+        for coflow, t in zip(inst.coflows, times):
+            print(f"  {coflow.name:<18s} weight {coflow.weight:5.1f}  "
+                  f"completes at t = {t:g}")
+        print()
+
+    print(
+        "With weights, the interactive query and the ML shuffle finish early "
+        "while the bulk ETL shuffle absorbs the delay; with equal weights the "
+        "ETL shuffle's volume dominates the schedule."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section as a text table.
+
+Runs the experiment configurations of :mod:`repro.experiments.figures`
+(Figures 6-12) at a configurable scale and prints, for each figure, the same
+series the paper plots plus the ratio of every algorithm to the LP lower
+bound.  EXPERIMENTS.md records a reference run of this script.
+
+Run with::
+
+    python examples/reproduce_figures.py                # default scale (fast)
+    python examples/reproduce_figures.py --scale 2.0    # closer to paper scale
+    python examples/reproduce_figures.py --only fig06 fig09
+"""
+
+import argparse
+import time
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    format_result_table,
+    run_experiment,
+    summarize_shape_checks,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="multiplier on the number of coflows per workload (1.0 = repo default)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="experiment ids to run (default: all paper figures)",
+    )
+    parser.add_argument(
+        "--include-ablations",
+        action="store_true",
+        help="also run the ablation experiments listed in DESIGN.md",
+    )
+    args = parser.parse_args()
+
+    if args.only:
+        ids = list(args.only)
+    else:
+        ids = [k for k in sorted(ALL_EXPERIMENTS) if k.startswith("fig")]
+        if args.include_ablations:
+            ids += [k for k in sorted(ALL_EXPERIMENTS) if k.startswith("ablation")]
+
+    for experiment_id in ids:
+        config = ALL_EXPERIMENTS[experiment_id]
+        start = time.perf_counter()
+        result = run_experiment(config, scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(format_result_table(result))
+        checks = summarize_shape_checks(result)
+        if checks:
+            print("\nshape checks:", ", ".join(
+                f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+            ))
+        print(f"(elapsed {elapsed:.1f}s)\n" + "=" * 90 + "\n")
+
+
+if __name__ == "__main__":
+    main()

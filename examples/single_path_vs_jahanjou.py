@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Single path model: time-indexed LP scheduling vs Jahanjou et al.
+
+Reproduces the comparison behind the paper's Figures 9-10 on one workload:
+flows are pinned to random shortest paths on the SWAN WAN (exactly as the
+paper's Section 6.2 does, since the traces carry no path information), and
+the same instance is scheduled by
+
+* the time-indexed LP heuristic and the Stretch algorithm (this paper), and
+* the interval-indexed LP + α-point rounding of Jahanjou et al. (SPAA 2017),
+  at both the ratio-optimising ε = 0.5436 and the finer ε = 0.2.
+
+Run with::
+
+    python examples/single_path_vs_jahanjou.py [num_coflows]
+"""
+
+import sys
+
+from repro import CoflowScheduler, swan_topology
+from repro.baselines.jahanjou import jahanjou_schedule
+from repro.workloads import WorkloadSpec, generate_instance
+
+
+def main():
+    num_coflows = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+
+    graph = swan_topology()
+    spec = WorkloadSpec(
+        profile="FB",
+        num_coflows=num_coflows,
+        weighted=True,
+        demand_scale=2.0,
+        seed=7,
+    )
+    instance = generate_instance(graph, spec, model="single_path")
+    print(f"instance: {instance}")
+    print("every flow pinned to a uniformly random shortest path\n")
+
+    scheduler = CoflowScheduler(instance, rng=0)
+    heuristic = scheduler.heuristic()
+    stretch = scheduler.best_stretch(num_samples=10)
+    jahanjou_opt = jahanjou_schedule(instance)               # epsilon = 0.5436
+    jahanjou_fine = jahanjou_schedule(instance, epsilon=0.2)
+
+    rows = [
+        ("Time indexed LP (lower bound)", heuristic.lower_bound),
+        ("LP heuristic (lambda = 1)", heuristic.objective),
+        ("Stretch (best of 10 lambdas)", stretch.objective),
+        ("Jahanjou et al. (eps = 0.5436)", jahanjou_opt.weighted_completion_time),
+        ("Jahanjou et al. (eps = 0.2)", jahanjou_fine.weighted_completion_time),
+    ]
+    width = max(len(name) for name, _ in rows)
+    bound = heuristic.lower_bound
+    print(f"{'algorithm'.ljust(width)} | weighted completion time | vs LP bound")
+    print("-" * (width + 44))
+    for name, value in rows:
+        print(f"{name.ljust(width)} | {value:24.0f} | {value / bound:10.2f}x")
+
+    print(
+        "\nThe interval-aligned batching of the Jahanjou et al. rounding "
+        "prevents fine-grained interleaving across coflows, which is exactly "
+        "why the paper's Figures 9-10 show the time-indexed LP approach "
+        "winning by a wide margin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Inter-datacenter WAN scenario: geo-distributed analytics on SWAN.
+
+The paper's motivating scenario (Section 1): several geo-distributed
+datacenters exchange large intermediate results of analytics / ML jobs over
+a WAN, and an uncoordinated schedule inflates job completion times.  This
+example builds a TPC-DS-style mix of jobs on Microsoft's SWAN topology and
+compares:
+
+* the LP lower bound (how well any scheduler could possibly do),
+* the paper's LP-based heuristic and Stretch algorithm,
+* Terra's offline SRTF algorithm (the prior art for the free path model),
+* an uncoordinated FIFO baseline.
+
+Run with::
+
+    python examples/wan_transfer.py [num_coflows]
+"""
+
+import sys
+
+from repro import CoflowScheduler, swan_topology
+from repro.baselines import fifo_schedule, terra_offline_schedule, weighted_sjf_schedule
+from repro.workloads import WorkloadSpec, generate_instance
+
+
+def main():
+    num_coflows = int(sys.argv[1]) if len(sys.argv) > 1 else 10
+
+    graph = swan_topology()
+    spec = WorkloadSpec(
+        profile="TPC-DS",
+        num_coflows=num_coflows,
+        weighted=False,  # Terra's SRTF targets the unweighted objective
+        demand_scale=3.0,
+        release_spread=0.3,  # bursty arrivals -> real contention on the WAN
+        seed=2019,
+    )
+    instance = generate_instance(graph, spec, model="free_path")
+    print(f"instance: {instance}")
+    print(f"total demand: {instance.total_demand():.1f} data units over "
+          f"{instance.graph.num_edges} directed WAN links\n")
+
+    scheduler = CoflowScheduler(instance, rng=0)
+    lp_bound = scheduler.lower_bound
+    heuristic = scheduler.heuristic()
+    stretch = scheduler.stretch_evaluation(num_samples=10)
+    terra = terra_offline_schedule(instance)
+    fifo = fifo_schedule(instance)
+    sjf = weighted_sjf_schedule(instance)
+
+    rows = [
+        ("LP lower bound", lp_bound),
+        ("LP heuristic (lambda = 1)", heuristic.schedule.total_completion_time()),
+        ("Stretch (average lambda)", float(
+            sum(r.schedule.total_completion_time() for r in stretch.results)
+            / stretch.num_samples
+        )),
+        ("Terra (offline SRTF)", terra.total_completion_time),
+        ("Weighted SJF", sjf.total_completion_time),
+        ("FIFO (uncoordinated)", fifo.total_completion_time),
+    ]
+    width = max(len(name) for name, _ in rows)
+    print(f"{'algorithm'.ljust(width)} | total completion time | vs LP bound")
+    print("-" * (width + 40))
+    for name, value in rows:
+        ratio = value / lp_bound if lp_bound > 0 else float("inf")
+        print(f"{name.ljust(width)} | {value:21.1f} | {ratio:10.2f}x")
+
+    fifo_ratio = fifo.total_completion_time / lp_bound if lp_bound > 0 else float("inf")
+    heuristic_ratio = (
+        heuristic.schedule.total_completion_time() / lp_bound if lp_bound > 0 else float("inf")
+    )
+    print(
+        f"\nThe LP heuristic sits at {heuristic_ratio:.2f}x the lower bound while "
+        f"the uncoordinated FIFO baseline pays {fifo_ratio:.2f}x — coordinating "
+        "coflows (rather than individual flows) is what closes that gap, which "
+        "is exactly the motivation the coflow abstraction was introduced for."
+    )
+
+
+if __name__ == "__main__":
+    main()

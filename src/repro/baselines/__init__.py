@@ -1,0 +1,34 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.terra` — the offline algorithm of Terra
+  (You & Chowdhury 2019) for the free path model: per-coflow standalone
+  completion times followed by shortest-remaining-time-first scheduling.
+  Used in the paper's Figures 11–12 (unweighted).
+* :mod:`repro.baselines.jahanjou` — the interval-indexed LP + α-point
+  rounding of Jahanjou, Kantor & Rajaraman (SPAA 2017) for the single path
+  model.  Used in the paper's Figures 9–10.
+* :mod:`repro.baselines.greedy` — simple priority heuristics (FIFO,
+  weighted shortest job first, smallest effective bottleneck first) used as
+  additional sanity baselines in the examples and ablations.
+"""
+
+from repro.baselines.result import BaselineResult
+from repro.baselines.terra import terra_offline_schedule
+from repro.baselines.jahanjou import jahanjou_schedule
+from repro.baselines.greedy import (
+    fifo_schedule,
+    sebf_schedule,
+    weighted_sjf_schedule,
+)
+from repro.baselines.sincronia import bssi_order, sincronia_schedule
+
+__all__ = [
+    "BaselineResult",
+    "terra_offline_schedule",
+    "jahanjou_schedule",
+    "fifo_schedule",
+    "weighted_sjf_schedule",
+    "sebf_schedule",
+    "bssi_order",
+    "sincronia_schedule",
+]

@@ -1,0 +1,101 @@
+"""Simple greedy priority baselines.
+
+These are not from the paper's evaluation; they serve three purposes in this
+repository: (a) sanity baselines for examples ("what does an uncoordinated /
+naive scheduler cost?"), (b) additional comparison points in the ablation
+benchmarks, and (c) exercise for the continuous-time simulator substrate.
+
+* **FIFO** — coflows ordered by release time (an "uncoordinated" cluster).
+* **Weighted SJF** — coflows ordered by standalone completion time divided by
+  weight (the natural weighted shortest-job-first rule; with unit weights it
+  degenerates to SJF, the rule RAPIER-style heuristics build on).
+* **SEBF** — smallest effective bottleneck first: order by standalone
+  completion time, ignoring weights (the Varys rule transplanted to general
+  graphs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.result import BaselineResult
+from repro.coflow.instance import CoflowInstance
+from repro.sim.rate_allocation import coflow_standalone_time
+from repro.sim.simulator import (
+    FlowState,
+    fifo_priority,
+    simulate_priority_schedule,
+    static_order_priority,
+)
+
+
+def _standalone_times(instance: CoflowInstance) -> np.ndarray:
+    return np.array(
+        [coflow_standalone_time(instance, j) for j in range(instance.num_coflows)],
+        dtype=float,
+    )
+
+
+def fifo_schedule(instance: CoflowInstance) -> BaselineResult:
+    """First-come-first-served by release time (uncoordinated baseline)."""
+    sim = simulate_priority_schedule(instance, fifo_priority)
+    return BaselineResult(
+        algorithm="fifo",
+        instance=instance,
+        coflow_completion_times=sim.coflow_completion_times,
+    )
+
+
+def weighted_sjf_schedule(instance: CoflowInstance) -> BaselineResult:
+    """Weighted shortest job first: order by standalone time / weight.
+
+    With unit weights this is plain shortest job first.  The ordering is
+    static (computed once from the full demands), which matches how such
+    heuristics are typically deployed.
+    """
+    standalone = _standalone_times(instance)
+    ratio = standalone / instance.weights
+    order = sorted(range(instance.num_coflows), key=lambda j: (ratio[j], j))
+    sim = simulate_priority_schedule(instance, static_order_priority(order))
+    return BaselineResult(
+        algorithm="weighted-sjf",
+        instance=instance,
+        coflow_completion_times=sim.coflow_completion_times,
+        metadata={"standalone_times": standalone},
+    )
+
+
+def sebf_schedule(instance: CoflowInstance) -> BaselineResult:
+    """Smallest effective bottleneck first (Varys-style, weight-agnostic).
+
+    The priority is dynamic: a coflow's remaining standalone time is
+    estimated as its standalone time scaled by the fraction of demand still
+    outstanding, so the rule behaves like shortest *remaining* bottleneck
+    first as coflows drain.
+    """
+    standalone = _standalone_times(instance)
+
+    def priority(
+        time: float, flow_states: Sequence[FlowState], inst: CoflowInstance
+    ) -> List[int]:
+        total = np.zeros(inst.num_coflows, dtype=float)
+        left = np.zeros(inst.num_coflows, dtype=float)
+        for state in flow_states:
+            total[state.coflow_index] += state.demand
+            left[state.coflow_index] += max(state.remaining, 0.0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(total > 0, left / total, 0.0)
+        remaining_time = fraction * standalone
+        return sorted(
+            range(inst.num_coflows), key=lambda j: (remaining_time[j], j)
+        )
+
+    sim = simulate_priority_schedule(instance, priority)
+    return BaselineResult(
+        algorithm="sebf",
+        instance=instance,
+        coflow_completion_times=sim.coflow_completion_times,
+        metadata={"standalone_times": standalone},
+    )

@@ -1,0 +1,59 @@
+"""Common result container for baseline algorithms.
+
+Baselines operate in continuous time (Terra, greedy heuristics) or produce
+their own slotted schedules (Jahanjou et al.); either way the experiment
+harness only needs completion times and the objective, so they all return a
+:class:`BaselineResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance
+from repro.schedule.schedule import Schedule
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running a baseline algorithm on an instance."""
+
+    algorithm: str
+    instance: CoflowInstance
+    coflow_completion_times: np.ndarray
+    schedule: Optional[Schedule] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.coflow_completion_times, dtype=float)
+        if times.shape != (self.instance.num_coflows,):
+            raise ValueError(
+                "coflow_completion_times must have one entry per coflow "
+                f"({self.instance.num_coflows}), got shape {times.shape}"
+            )
+        self.coflow_completion_times = times
+
+    @property
+    def weighted_completion_time(self) -> float:
+        """The paper's objective ``sum_j w_j C_j``."""
+        return float(
+            np.dot(self.instance.weights, self.coflow_completion_times)
+        )
+
+    @property
+    def total_completion_time(self) -> float:
+        """Unweighted sum of completion times (Figs. 11–12 metric)."""
+        return float(self.coflow_completion_times.sum())
+
+    @property
+    def makespan(self) -> float:
+        return float(self.coflow_completion_times.max(initial=0.0))
+
+    def gap_to(self, lower_bound: float) -> float:
+        """Ratio of the objective to an LP lower bound."""
+        if lower_bound <= 0:
+            return float("inf")
+        return self.weighted_completion_time / lower_bound

@@ -1,0 +1,136 @@
+"""A Sincronia-style combinatorial (LP-free) ordering baseline.
+
+Sincronia (Agarwal et al., SIGCOMM 2018 — reference [1] of the paper) showed
+that, in the switch model, ordering coflows with a primal-dual rule
+("Bottleneck-Select-Scale-Iterate", BSSI) and then rate-allocating greedily
+by that order is within 4x of optimal and extremely practical.  The paper's
+related-work section highlights this line of work as the LP-free
+alternative; this module adapts the ordering rule to general graphs so the
+repository has a combinatorial baseline alongside the LP-based algorithms.
+
+Adaptation to graphs:
+
+* the "ports" of the switch model become the directed edges of the network;
+* a coflow's demand on an edge is the total demand of its flows whose
+  representative path uses that edge (the pinned path in the single path
+  model; the first shortest path in the free path model — only the
+  *ordering* uses this approximation, the actual transmission is handled by
+  the exact rate-allocation simulator);
+* BSSI then runs unchanged: repeatedly find the most loaded edge, pick the
+  coflow with the largest scaled-weight-per-unit-demand on it to finish
+  *last*, scale the remaining weights, and recurse.
+
+The final schedule is produced by the continuous-time simulator with the
+BSSI order as a static priority list (work conserving, preemptive), exactly
+like the greedy baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.result import BaselineResult
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.paths import shortest_path
+from repro.sim.simulator import simulate_priority_schedule, static_order_priority
+
+#: Numerical floor when dividing by per-edge demands.
+_DEMAND_EPS = 1e-12
+
+
+def coflow_edge_demands(instance: CoflowInstance) -> np.ndarray:
+    """Per-coflow, per-edge demand matrix used by the ordering rule.
+
+    Shape ``(num_coflows, num_edges)``.  Flows contribute their demand to
+    every edge of their representative path (pinned path when available,
+    first shortest path otherwise).
+    """
+    graph = instance.graph
+    edge_index = graph.edge_index()
+    demands = np.zeros((instance.num_coflows, graph.num_edges), dtype=float)
+    path_cache: Dict[tuple, tuple] = {}
+    for ref in instance.flow_refs():
+        flow = ref.flow
+        if flow.has_path:
+            path = tuple(flow.path)
+        else:
+            key = (flow.source, flow.sink)
+            if key not in path_cache:
+                path_cache[key] = shortest_path(graph, flow.source, flow.sink)
+            path = path_cache[key]
+        for edge in zip(path[:-1], path[1:]):
+            demands[ref.coflow_index, edge_index[edge]] += flow.demand
+    return demands
+
+
+def bssi_order(instance: CoflowInstance) -> List[int]:
+    """The Bottleneck-Select-Scale-Iterate ordering (first = highest priority).
+
+    Builds the permutation back to front: at each step the most loaded edge
+    (relative to its capacity) is the bottleneck, the unscheduled coflow with
+    the smallest ``scaled weight / demand on the bottleneck`` is placed last,
+    and the remaining coflows' weights are reduced in proportion to their own
+    demand on that bottleneck — the classic primal-dual weight-splitting.
+    """
+    num_coflows = instance.num_coflows
+    demands = coflow_edge_demands(instance)
+    capacities = instance.graph.capacity_vector()
+    scaled_weights = instance.weights.astype(float).copy()
+    unscheduled = set(range(num_coflows))
+    reverse_order: List[int] = []
+
+    while unscheduled:
+        active = sorted(unscheduled)
+        load = demands[active].sum(axis=0) / capacities
+        bottleneck = int(np.argmax(load))
+        on_bottleneck = [j for j in active if demands[j, bottleneck] > _DEMAND_EPS]
+        if not on_bottleneck:
+            # Remaining coflows have no demand anywhere relevant (isolated
+            # representative paths); close them out by weight, lightest last.
+            last = min(active, key=lambda j: (scaled_weights[j], -j))
+        else:
+            last = min(
+                on_bottleneck,
+                key=lambda j: (
+                    scaled_weights[j] / max(demands[j, bottleneck], _DEMAND_EPS),
+                    -j,
+                ),
+            )
+            ratio = scaled_weights[last] / max(demands[last, bottleneck], _DEMAND_EPS)
+            for j in on_bottleneck:
+                if j == last:
+                    continue
+                scaled_weights[j] = max(
+                    scaled_weights[j] - ratio * demands[j, bottleneck], 0.0
+                )
+        reverse_order.append(last)
+        unscheduled.remove(last)
+
+    reverse_order.reverse()
+    return reverse_order
+
+
+def sincronia_schedule(
+    instance: CoflowInstance, *, order: Optional[List[int]] = None
+) -> BaselineResult:
+    """Schedule *instance* with the BSSI order and greedy rate allocation.
+
+    Works for both transmission models: the ordering uses representative
+    paths, the transmission uses the exact per-model rate allocation of the
+    simulator (pinned paths for the single path model, max-concurrent-flow
+    LPs for the free path model).
+    """
+    if order is None:
+        order = bssi_order(instance)
+    else:
+        if sorted(order) != list(range(instance.num_coflows)):
+            raise ValueError("order must be a permutation of the coflow indices")
+    sim = simulate_priority_schedule(instance, static_order_priority(order))
+    return BaselineResult(
+        algorithm="sincronia-bssi",
+        instance=instance,
+        coflow_completion_times=sim.coflow_completion_times,
+        metadata={"order": list(order)},
+    )

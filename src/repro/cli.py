@@ -1,0 +1,160 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the common workflows without writing any Python:
+
+``topologies``
+    List the built-in WAN topologies with their sizes.
+``generate``
+    Generate a synthetic benchmark workload and write it to a JSON trace.
+``solve``
+    Load an instance (JSON trace produced by ``generate`` or
+    ``CoflowInstance.save_json``) and schedule it with a chosen algorithm.
+``experiment``
+    Run one of the paper-figure experiments and print its table (optionally
+    exporting CSV/JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.coflow.instance import CoflowInstance
+from repro.core.scheduler import ALGORITHMS, solve_coflow_schedule
+from repro.experiments.export import write_csv, write_json
+from repro.experiments.figures import ALL_EXPERIMENTS, get_experiment
+from repro.experiments.reporting import format_result_table, summarize_shape_checks
+from repro.experiments.runner import run_experiment
+from repro.network.topologies import gscale_topology, named_topology, swan_topology
+from repro.workloads.generator import WorkloadSpec, generate_instance
+from repro.workloads.profiles import BENCHMARK_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Near Optimal Coflow Scheduling in Networks — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list the built-in topologies")
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload trace")
+    gen.add_argument("output", help="path of the JSON trace to write")
+    gen.add_argument("--workload", choices=BENCHMARK_NAMES, default="FB")
+    gen.add_argument("--topology", default="swan")
+    gen.add_argument("--model", choices=["free_path", "single_path"], default="free_path")
+    gen.add_argument("--num-coflows", type=int, default=12)
+    gen.add_argument("--demand-scale", type=float, default=1.5)
+    gen.add_argument("--unweighted", action="store_true")
+    gen.add_argument("--seed", type=int, default=2019)
+
+    solve = sub.add_parser("solve", help="schedule an instance from a JSON trace")
+    solve.add_argument("trace", help="instance JSON written by `generate` or save_json")
+    solve.add_argument("--algorithm", choices=ALGORITHMS, default="lp-heuristic")
+    solve.add_argument("--num-samples", type=int, default=10)
+    solve.add_argument("--slot-length", type=float, default=1.0)
+    solve.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run a paper-figure experiment")
+    exp.add_argument("experiment_id", choices=sorted(ALL_EXPERIMENTS))
+    exp.add_argument("--scale", type=float, default=1.0)
+    exp.add_argument("--csv", help="optional CSV output path")
+    exp.add_argument("--json", help="optional JSON output path")
+
+    return parser
+
+
+def _cmd_topologies(out) -> int:
+    for name, graph in (("swan", swan_topology()), ("gscale", gscale_topology())):
+        print(
+            f"{name:<8s} {graph.name:<10s} nodes={graph.num_nodes:<3d} "
+            f"directed edges={graph.num_edges:<3d} "
+            f"total capacity={graph.total_capacity():g}",
+            file=out,
+        )
+    print(
+        "helper topologies: paper-example, figure-1, star, line, ring, "
+        "parallel-edges, switch-fabric (see repro.network.topologies)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_generate(args, out) -> int:
+    graph = named_topology(args.topology)
+    spec = WorkloadSpec(
+        profile=args.workload,
+        num_coflows=args.num_coflows,
+        weighted=not args.unweighted,
+        demand_scale=args.demand_scale,
+        seed=args.seed,
+    )
+    instance = generate_instance(graph, spec, model=args.model, rng=args.seed)
+    instance.save_json(args.output)
+    print(
+        f"wrote {instance.num_coflows} coflows / {instance.num_flows} flows "
+        f"({args.workload} on {graph.name}, {args.model}) to {args.output}",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_solve(args, out) -> int:
+    instance = CoflowInstance.load_json(args.trace)
+    outcome = solve_coflow_schedule(
+        instance,
+        algorithm=args.algorithm,
+        slot_length=args.slot_length,
+        rng=args.seed,
+        num_samples=args.num_samples,
+    )
+    print(f"instance          : {instance}", file=out)
+    print(f"algorithm         : {outcome.algorithm}", file=out)
+    print(f"LP lower bound    : {outcome.lower_bound:.3f}", file=out)
+    print(f"objective         : {outcome.objective:.3f}", file=out)
+    print(f"gap to bound      : {outcome.gap:.3f}x", file=out)
+    if outcome.schedule is not None:
+        times = outcome.schedule.coflow_completion_times()
+        for coflow, time in zip(instance.coflows, times):
+            name = coflow.name or "coflow"
+            print(f"  {name:<20s} weight {coflow.weight:8.2f}  C = {time:g}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    config = get_experiment(args.experiment_id)
+    result = run_experiment(config, scale=args.scale)
+    print(format_result_table(result), file=out)
+    checks = summarize_shape_checks(result)
+    if checks:
+        rendered = ", ".join(f"{k}={'PASS' if v else 'FAIL'}" for k, v in checks.items())
+        print(f"\nshape checks: {rendered}", file=out)
+    if args.csv:
+        rows = write_csv([result], args.csv)
+        print(f"wrote {rows} rows to {args.csv}", file=out)
+    if args.json:
+        write_json([result], args.json)
+        print(f"wrote JSON to {args.json}", file=out)
+    return 0 if all(checks.values()) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """Entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.command == "topologies":
+        return _cmd_topologies(out)
+    if args.command == "generate":
+        return _cmd_generate(args, out)
+    if args.command == "solve":
+        return _cmd_solve(args, out)
+    if args.command == "experiment":
+        return _cmd_experiment(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

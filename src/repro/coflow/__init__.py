@@ -1,0 +1,14 @@
+"""Coflow data model.
+
+A :class:`~repro.coflow.flow.Flow` is a single point-to-point demand, a
+:class:`~repro.coflow.coflow.Coflow` is a weighted set of flows that completes
+only when all of its flows have completed, and a
+:class:`~repro.coflow.instance.CoflowInstance` couples a set of coflows with
+the :class:`~repro.network.graph.NetworkGraph` they must be scheduled on.
+"""
+
+from repro.coflow.flow import Flow
+from repro.coflow.coflow import Coflow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+
+__all__ = ["Flow", "Coflow", "CoflowInstance", "TransmissionModel"]

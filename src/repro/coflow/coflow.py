@@ -1,0 +1,135 @@
+"""A coflow: a weighted collection of flows that completes together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.coflow.flow import Flow
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class Coflow:
+    """A coflow ``F_j`` with weight ``w_j`` and flows ``f_j^1 ... f_j^{n_j}``.
+
+    A coflow is *completed* at the earliest time by which every one of its
+    flows has shipped its full demand (paper Section 2).  The scheduling
+    objective is the weighted sum of coflow completion times.
+
+    Parameters
+    ----------
+    flows:
+        Non-empty sequence of :class:`~repro.coflow.flow.Flow`.
+    weight:
+        Priority weight ``w_j`` (> 0).  The unweighted experiments of the
+        paper (Figs. 11–12) simply use weight 1 for every coflow.
+    release_time:
+        Earliest time any of the coflow's flows may start.  Individual flows
+        may additionally carry their own (later) release times.
+    name:
+        Optional human-readable identifier used in reports.
+    """
+
+    flows: Tuple[Flow, ...]
+    weight: float = 1.0
+    release_time: float = 0.0
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        flows = tuple(self.flows)
+        object.__setattr__(self, "flows", flows)
+        if not flows:
+            raise ValueError("a coflow must contain at least one flow")
+        for flow in flows:
+            if not isinstance(flow, Flow):
+                raise TypeError(f"expected Flow, got {type(flow).__name__}")
+        check_positive(self.weight, "weight")
+        check_nonnegative(self.release_time, "release_time")
+
+    def __iter__(self) -> Iterator[Flow]:
+        return iter(self.flows)
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    @property
+    def num_flows(self) -> int:
+        """Number of flows ``n_j`` in the coflow."""
+        return len(self.flows)
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of flow demands (the coflow's total bytes)."""
+        return float(sum(flow.demand for flow in self.flows))
+
+    @property
+    def max_demand(self) -> float:
+        """Largest single-flow demand in the coflow."""
+        return float(max(flow.demand for flow in self.flows))
+
+    def effective_release_time(self, flow: Flow) -> float:
+        """The release time that actually binds a member flow."""
+        return max(self.release_time, flow.release_time)
+
+    def endpoints(self) -> set[str]:
+        """All node labels used as a source or sink by the coflow."""
+        nodes: set[str] = set()
+        for flow in self.flows:
+            nodes.add(flow.source)
+            nodes.add(flow.sink)
+        return nodes
+
+    def all_paths_pinned(self) -> bool:
+        """Whether every flow carries a pinned path (single path model ready)."""
+        return all(flow.has_path for flow in self.flows)
+
+    def with_weight(self, weight: float) -> "Coflow":
+        """Return a copy with a different weight."""
+        return Coflow(
+            flows=self.flows,
+            weight=weight,
+            release_time=self.release_time,
+            name=self.name,
+        )
+
+    def with_release_time(self, release_time: float) -> "Coflow":
+        """Return a copy with a different release time."""
+        return Coflow(
+            flows=self.flows,
+            weight=self.weight,
+            release_time=release_time,
+            name=self.name,
+        )
+
+    def with_flows(self, flows: Iterable[Flow]) -> "Coflow":
+        """Return a copy with a different flow set."""
+        return Coflow(
+            flows=tuple(flows),
+            weight=self.weight,
+            release_time=self.release_time,
+            name=self.name,
+        )
+
+    def unweighted(self) -> "Coflow":
+        """Return a copy with weight 1 (used by the Terra comparison)."""
+        return self.with_weight(1.0)
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (for trace serialization)."""
+        return {
+            "weight": self.weight,
+            "release_time": self.release_time,
+            "name": self.name,
+            "flows": [flow.to_dict() for flow in self.flows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Coflow":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            flows=tuple(Flow.from_dict(f) for f in data["flows"]),
+            weight=float(data.get("weight", 1.0)),
+            release_time=float(data.get("release_time", 0.0)),
+            name=data.get("name"),
+        )

@@ -1,0 +1,144 @@
+"""A single flow: one point-to-point transfer demand inside a coflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One transfer demand ``f_j^i = (s_j^i, t_j^i, sigma_j^i)``.
+
+    Parameters
+    ----------
+    source:
+        Source node label (must exist in the instance's network graph).
+    sink:
+        Destination node label.
+    demand:
+        Amount of data to ship (``sigma`` in the paper), in the same units
+        as edge capacity × one time slot.  Must be strictly positive.
+    path:
+        Optional pinned path for the *single path* model, given as a tuple of
+        node labels starting at ``source`` and ending at ``sink``.  Ignored by
+        the free path model.
+    release_time:
+        Earliest (continuous) time at which the flow may be transmitted.
+        Flows inherit their coflow's release time when not set explicitly;
+        the effective release time is the maximum of the two.
+
+    Notes
+    -----
+    ``Flow`` is an immutable value object so that it can be shared freely
+    between instances, schedules and LP builders without defensive copies.
+    """
+
+    source: str
+    sink: str
+    demand: float
+    path: Optional[Tuple[str, ...]] = None
+    release_time: float = 0.0
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive(self.demand, "demand")
+        check_nonnegative(self.release_time, "release_time")
+        if self.source == self.sink:
+            raise ValueError(
+                f"flow source and sink must differ, both are {self.source!r}"
+            )
+        if self.path is not None:
+            path = tuple(self.path)
+            object.__setattr__(self, "path", path)
+            if len(path) < 2:
+                raise ValueError("a path must contain at least two nodes")
+            if path[0] != self.source:
+                raise ValueError(
+                    f"path must start at the flow source {self.source!r}, "
+                    f"starts at {path[0]!r}"
+                )
+            if path[-1] != self.sink:
+                raise ValueError(
+                    f"path must end at the flow sink {self.sink!r}, "
+                    f"ends at {path[-1]!r}"
+                )
+            if len(set(path)) != len(path):
+                raise ValueError(f"path must not repeat nodes: {path!r}")
+
+    @property
+    def has_path(self) -> bool:
+        """Whether a single-path routing has been pinned for this flow."""
+        return self.path is not None
+
+    def path_edges(self) -> Tuple[Tuple[str, str], ...]:
+        """The directed edges traversed by the pinned path.
+
+        Raises
+        ------
+        ValueError
+            If the flow has no pinned path.
+        """
+        if self.path is None:
+            raise ValueError("flow has no pinned path")
+        return tuple(zip(self.path[:-1], self.path[1:]))
+
+    def with_path(self, path: Tuple[str, ...]) -> "Flow":
+        """Return a copy of this flow pinned to *path*."""
+        return Flow(
+            source=self.source,
+            sink=self.sink,
+            demand=self.demand,
+            path=tuple(path),
+            release_time=self.release_time,
+            name=self.name,
+        )
+
+    def with_release_time(self, release_time: float) -> "Flow":
+        """Return a copy of this flow with a new release time."""
+        return Flow(
+            source=self.source,
+            sink=self.sink,
+            demand=self.demand,
+            path=self.path,
+            release_time=release_time,
+            name=self.name,
+        )
+
+    def scaled(self, factor: float) -> "Flow":
+        """Return a copy with the demand multiplied by *factor* (> 0)."""
+        check_positive(factor, "factor")
+        return Flow(
+            source=self.source,
+            sink=self.sink,
+            demand=self.demand * factor,
+            path=self.path,
+            release_time=self.release_time,
+            name=self.name,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (for trace serialization)."""
+        return {
+            "source": self.source,
+            "sink": self.sink,
+            "demand": self.demand,
+            "path": list(self.path) if self.path is not None else None,
+            "release_time": self.release_time,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Flow":
+        """Inverse of :meth:`to_dict`."""
+        path = data.get("path")
+        return cls(
+            source=data["source"],
+            sink=data["sink"],
+            demand=float(data["demand"]),
+            path=tuple(path) if path else None,
+            release_time=float(data.get("release_time", 0.0)),
+            name=data.get("name"),
+        )

@@ -1,0 +1,302 @@
+"""The intermediate "k given paths" transmission model.
+
+The paper's Section 2 notes that the LP framework "is also possible to
+handle other kinds of transmissions, like an intermediate case between
+single path and free path: several paths are given, and we can use them
+together and decide at what rate we are transmitting along each path."
+This module implements exactly that case:
+
+* every flow gets a set of *candidate paths* (by default its ``k`` shortest
+  paths, computed with Yen's algorithm);
+* the time-indexed LP carries one rate variable per (flow, slot, candidate
+  path); the per-slot transmission is the sum over candidate paths, and edge
+  bandwidths bound the total traffic of all paths crossing them;
+* the optimal solution is returned as a standard
+  :class:`~repro.core.timeindexed.CoflowLPSolution` whose per-edge fractions
+  are the path rates aggregated per edge, so the LP heuristic, the Stretch
+  algorithm, compaction and the feasibility checker all apply unchanged.
+
+Because every multipath schedule is a feasible free path schedule, and every
+single (shortest) path schedule is a feasible multipath schedule with
+``k >= 1`` candidates, the LP objective interpolates monotonically between
+the two models as ``k`` grows — the ablation benchmark
+``benchmarks/bench_ablation_multipath.py`` measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.core.timeindexed import CoflowLPSolution, suggest_horizon
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.lp.solver import solve_lp
+from repro.network.paths import k_shortest_paths
+from repro.schedule.timegrid import TimeGrid
+
+#: Candidate paths per flow, keyed by global flow index.
+CandidatePaths = Dict[int, List[Tuple[str, ...]]]
+
+
+def assign_candidate_paths(
+    instance: CoflowInstance,
+    k: int,
+    *,
+    include_pinned: bool = True,
+) -> CandidatePaths:
+    """Compute ``k`` shortest candidate paths for every flow of *instance*.
+
+    Parameters
+    ----------
+    instance:
+        Any coflow instance on a connected graph.
+    k:
+        Number of candidate paths per flow (>= 1).  Fewer are returned when
+        the graph does not contain that many simple paths.
+    include_pinned:
+        When a flow already carries a pinned path, keep it as a candidate
+        (in addition to the shortest paths) so the multipath model is always
+        at least as good as the single path model on the same instance.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    candidates: CandidatePaths = {}
+    cache: Dict[Tuple[str, str], List[Tuple[str, ...]]] = {}
+    for ref in instance.flow_refs():
+        flow = ref.flow
+        key = (flow.source, flow.sink)
+        if key not in cache:
+            cache[key] = k_shortest_paths(instance.graph, flow.source, flow.sink, k)
+        paths = list(cache[key])
+        if include_pinned and flow.has_path and tuple(flow.path) not in paths:
+            paths = [tuple(flow.path)] + paths
+        candidates[ref.global_index] = paths
+    return candidates
+
+
+def solve_multipath_lp(
+    instance: CoflowInstance,
+    *,
+    candidate_paths: Optional[CandidatePaths] = None,
+    k: int = 2,
+    grid: Optional[TimeGrid] = None,
+    num_slots: Optional[int] = None,
+    slot_length: float = 1.0,
+    solver_method: str = "highs",
+) -> CoflowLPSolution:
+    """Solve the time-indexed LP for the "k given paths" model.
+
+    Either pass explicit *candidate_paths* (mapping global flow index to a
+    list of node-tuple paths) or let the function compute the ``k`` shortest
+    paths per flow.  Returns a :class:`CoflowLPSolution` expressed on the
+    free path representation (per-edge fractions), so all downstream tooling
+    (heuristic, Stretch, feasibility checking) works unchanged.
+    """
+    if candidate_paths is None:
+        candidate_paths = assign_candidate_paths(instance, k)
+    else:
+        for ref in instance.flow_refs():
+            if ref.global_index not in candidate_paths:
+                raise ValueError(
+                    f"candidate_paths is missing flow {ref.label} "
+                    f"(global index {ref.global_index})"
+                )
+            if not candidate_paths[ref.global_index]:
+                raise ValueError(f"flow {ref.label} has an empty candidate path set")
+            for path in candidate_paths[ref.global_index]:
+                instance.graph.validate_path(path)
+                if path[0] != ref.flow.source or path[-1] != ref.flow.sink:
+                    raise ValueError(
+                        f"candidate path {path} does not connect the endpoints of "
+                        f"flow {ref.label}"
+                    )
+
+    if grid is None:
+        if num_slots is None:
+            num_slots = suggest_horizon(instance, slot_length=slot_length)
+        grid = TimeGrid.uniform(num_slots, slot_length)
+
+    num_flows = instance.num_flows
+    num_coflows = instance.num_coflows
+    num_slots = grid.num_slots
+    durations = grid.durations
+    graph = instance.graph
+    edge_index = graph.edge_index()
+    num_edges = graph.num_edges
+
+    # Flatten the (flow, path) pairs into one index space.
+    pair_flow: List[int] = []
+    pair_edges: List[np.ndarray] = []
+    pairs_of_flow: Dict[int, List[int]] = {}
+    for ref in instance.flow_refs():
+        f = ref.global_index
+        pairs_of_flow[f] = []
+        for path in candidate_paths[f]:
+            edges = np.array(
+                [edge_index[e] for e in zip(path[:-1], path[1:])], dtype=np.int64
+            )
+            pairs_of_flow[f].append(len(pair_flow))
+            pair_flow.append(f)
+            pair_edges.append(edges)
+    num_pairs = len(pair_flow)
+
+    lp = LinearProgram(name=f"coflow-multipath-{instance.name}")
+    x_idx = lp.add_variables("x", num_flows * num_slots, upper=1.0).reshape(
+        num_flows, num_slots
+    )
+    big_x_idx = lp.add_variables("X", num_coflows * num_slots, upper=1.0).reshape(
+        num_coflows, num_slots
+    )
+    c_idx = lp.add_variables("C", num_coflows).indices()
+    z_idx = lp.add_variables("z", num_pairs * num_slots, upper=1.0).reshape(
+        num_pairs, num_slots
+    )
+
+    lp.set_objective(c_idx, instance.weights)
+
+    # Release times (Eq. 4): forbid early slots for x and all its path rates.
+    release = instance.flow_release_times()
+    allowed = grid.release_mask(release)
+    for f, t in zip(*np.nonzero(~allowed)):
+        lp.fix_variable(int(x_idx[f, t]), 0.0)
+        for p in pairs_of_flow[int(f)]:
+            lp.fix_variable(int(z_idx[p, t]), 0.0)
+
+    # Demand satisfaction (Eq. 1).
+    rows = np.repeat(np.arange(num_flows), num_slots)
+    lp.add_constraints_batch(
+        rows, x_idx.reshape(-1), np.ones(num_flows * num_slots),
+        np.ones(num_flows), ConstraintSense.EQUAL,
+    )
+
+    # Path split: sum over candidate paths equals the per-slot fraction.
+    split_rows: List[np.ndarray] = []
+    split_cols: List[np.ndarray] = []
+    split_vals: List[np.ndarray] = []
+    row_counter = 0
+    for f in range(num_flows):
+        pair_ids = np.array(pairs_of_flow[f], dtype=np.int64)
+        for t in range(num_slots):
+            size = pair_ids.size + 1
+            split_rows.append(np.full(size, row_counter, dtype=np.int64))
+            split_cols.append(np.concatenate([z_idx[pair_ids, t], [x_idx[f, t]]]))
+            split_vals.append(np.concatenate([np.ones(pair_ids.size), [-1.0]]))
+            row_counter += 1
+    lp.add_constraints_batch(
+        np.concatenate(split_rows),
+        np.concatenate(split_cols),
+        np.concatenate(split_vals),
+        np.zeros(row_counter),
+        ConstraintSense.EQUAL,
+    )
+
+    # Coflow completion indicators (Eq. 2).
+    coflow_of_flow = instance.coflow_of_flow()
+    rows2: List[np.ndarray] = []
+    cols2: List[np.ndarray] = []
+    vals2: List[np.ndarray] = []
+    row_counter = 0
+    for f in range(num_flows):
+        j = int(coflow_of_flow[f])
+        for t in range(num_slots):
+            size = t + 2
+            rows2.append(np.full(size, row_counter, dtype=np.int64))
+            cols2.append(np.concatenate([[big_x_idx[j, t]], x_idx[f, : t + 1]]))
+            vals2.append(np.concatenate([[1.0], -np.ones(t + 1)]))
+            row_counter += 1
+    lp.add_constraints_batch(
+        np.concatenate(rows2),
+        np.concatenate(cols2),
+        np.concatenate(vals2),
+        np.zeros(row_counter),
+        ConstraintSense.LESS_EQUAL,
+    )
+
+    # Completion-time lower bound (Eq. 3).
+    first_duration = float(durations[0])
+    total_duration = float(durations.sum())
+    rows3: List[np.ndarray] = []
+    cols3: List[np.ndarray] = []
+    vals3: List[np.ndarray] = []
+    for j in range(num_coflows):
+        size = 1 + num_slots
+        rows3.append(np.full(size, j, dtype=np.int64))
+        cols3.append(np.concatenate([[c_idx[j]], big_x_idx[j]]))
+        vals3.append(np.concatenate([[-1.0], -durations]))
+    lp.add_constraints_batch(
+        np.concatenate(rows3),
+        np.concatenate(cols3),
+        np.concatenate(vals3),
+        np.full(num_coflows, -(first_duration + total_duration)),
+        ConstraintSense.LESS_EQUAL,
+    )
+
+    # Edge bandwidths: total demand-weighted traffic of all candidate paths
+    # crossing an edge is bounded by capacity x slot duration.
+    demands = instance.demands()
+    pairs_on_edge: Dict[int, List[int]] = {}
+    for p, edges in enumerate(pair_edges):
+        for e in edges:
+            pairs_on_edge.setdefault(int(e), []).append(p)
+    cap_rows: List[np.ndarray] = []
+    cap_cols: List[np.ndarray] = []
+    cap_vals: List[np.ndarray] = []
+    cap_rhs: List[float] = []
+    capacities = graph.capacity_vector()
+    row_counter = 0
+    for e, pair_list in sorted(pairs_on_edge.items()):
+        pair_ids = np.array(pair_list, dtype=np.int64)
+        pair_demands = demands[np.array([pair_flow[p] for p in pair_list])]
+        for t in range(num_slots):
+            cap_rows.append(np.full(pair_ids.size, row_counter, dtype=np.int64))
+            cap_cols.append(z_idx[pair_ids, t])
+            cap_vals.append(pair_demands)
+            cap_rhs.append(capacities[e] * durations[t])
+            row_counter += 1
+    if row_counter:
+        lp.add_constraints_batch(
+            np.concatenate(cap_rows),
+            np.concatenate(cap_cols),
+            np.concatenate(cap_vals),
+            np.array(cap_rhs),
+            ConstraintSense.LESS_EQUAL,
+        )
+
+    result = solve_lp(lp, method=solver_method, require_optimal=True)
+
+    fractions = result.values(x_idx)
+    completion_times = result.values(c_idx)
+    z_values = result.values(z_idx)
+    # Aggregate path rates into per-edge fractions (free path representation).
+    edge_fractions = np.zeros((num_flows, num_slots, num_edges), dtype=float)
+    for p, edges in enumerate(pair_edges):
+        f = pair_flow[p]
+        for e in edges:
+            edge_fractions[f, :, int(e)] += z_values[p]
+
+    objective = float(np.dot(instance.weights, completion_times))
+    # The downstream tooling (Schedule, feasibility) expects a free path
+    # instance when per-edge fractions are present.
+    free_instance = (
+        instance
+        if instance.model is TransmissionModel.FREE_PATH
+        else instance.with_model(TransmissionModel.FREE_PATH)
+    )
+    return CoflowLPSolution(
+        instance=free_instance,
+        grid=grid,
+        objective=objective,
+        completion_times=completion_times,
+        fractions=fractions,
+        edge_fractions=edge_fractions,
+        lp_result=result,
+        metadata={
+            "model": "multipath",
+            "num_candidate_paths": {
+                f: len(paths) for f, paths in candidate_paths.items()
+            },
+            "lp_size": lp.size_summary(),
+        },
+    )

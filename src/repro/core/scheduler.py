@@ -1,0 +1,263 @@
+"""High-level façade: one call from instance to schedule.
+
+:class:`CoflowScheduler` wraps the LP solve (cached), the Stretch algorithm,
+the LP heuristic and the λ-sampling evaluation behind a small object, and
+:func:`solve_coflow_schedule` offers a single-function entry point used by
+the examples and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.coflow.instance import CoflowInstance
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.stretch import (
+    DEFAULT_NUM_SAMPLES,
+    StretchEvaluation,
+    StretchResult,
+    evaluate_stretch,
+    run_stretch,
+)
+from repro.core.timeindexed import CoflowLPSolution, solve_time_indexed_lp
+from repro.schedule.feasibility import FeasibilityReport, check_feasibility
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+from repro.utils.rng import RandomSource, as_generator
+
+#: Algorithms understood by :func:`solve_coflow_schedule`.
+ALGORITHMS = ("lp-heuristic", "stretch", "stretch-average", "stretch-best")
+
+
+@dataclass
+class SchedulingOutcome:
+    """The result of scheduling an instance with one algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that produced the schedule.
+    schedule:
+        The feasible schedule (``None`` only for aggregate-only outcomes).
+    objective:
+        Weighted completion time of the schedule (or the reported aggregate
+        for ``stretch-average``).
+    lower_bound:
+        The LP objective — a lower bound on the optimum (paper Eq. 11).
+    lp_solution:
+        The underlying LP solution.
+    feasibility:
+        Feasibility report of the returned schedule, when one was checked.
+    extras:
+        Algorithm-specific data (e.g. the sampled λ, the full stretch
+        evaluation).
+    """
+
+    algorithm: str
+    objective: float
+    lower_bound: float
+    lp_solution: CoflowLPSolution
+    schedule: Optional[Schedule] = None
+    feasibility: Optional[FeasibilityReport] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def gap(self) -> float:
+        """Objective divided by the LP lower bound."""
+        if self.lower_bound <= 0:
+            return float("inf")
+        return self.objective / self.lower_bound
+
+
+class CoflowScheduler:
+    """Schedules one instance, reusing a single LP solve across algorithms.
+
+    Parameters
+    ----------
+    instance:
+        The coflow scheduling instance (its :class:`TransmissionModel`
+        decides which constraints the LP uses).
+    grid:
+        Explicit time grid; overrides *num_slots*, *slot_length*, *epsilon*.
+    num_slots, slot_length:
+        Uniform-grid specification (defaults to an automatically suggested
+        horizon of unit slots).
+    epsilon:
+        When given, use the geometric interval grid of Appendix A instead of
+        a uniform grid.
+    rng:
+        Random source for λ sampling.
+    verify:
+        When true (default), every produced schedule is checked for
+        feasibility and the report attached to the outcome.
+    """
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        *,
+        grid: Optional[TimeGrid] = None,
+        num_slots: Optional[int] = None,
+        slot_length: float = 1.0,
+        epsilon: Optional[float] = None,
+        rng: RandomSource = None,
+        verify: bool = True,
+        solver_method: str = "highs",
+    ) -> None:
+        self.instance = instance
+        self._grid = grid
+        self._num_slots = num_slots
+        self._slot_length = slot_length
+        self._epsilon = epsilon
+        self._rng = as_generator(rng)
+        self._verify = verify
+        self._solver_method = solver_method
+        self._lp_solution: Optional[CoflowLPSolution] = None
+
+    # ------------------------------------------------------------------ #
+    # LP
+    # ------------------------------------------------------------------ #
+    def solve_lp(self) -> CoflowLPSolution:
+        """Solve (and cache) the time-indexed LP for this instance."""
+        if self._lp_solution is None:
+            self._lp_solution = solve_time_indexed_lp(
+                self.instance,
+                grid=self._grid,
+                num_slots=self._num_slots,
+                slot_length=self._slot_length,
+                epsilon=self._epsilon,
+                solver_method=self._solver_method,
+            )
+        return self._lp_solution
+
+    @property
+    def lower_bound(self) -> float:
+        """The LP objective (a lower bound on the optimal weighted completion time)."""
+        return self.solve_lp().objective
+
+    # ------------------------------------------------------------------ #
+    # algorithms
+    # ------------------------------------------------------------------ #
+    def _outcome(
+        self,
+        algorithm: str,
+        schedule: Schedule,
+        extras: Optional[Dict[str, object]] = None,
+    ) -> SchedulingOutcome:
+        lp_solution = self.solve_lp()
+        feasibility = None
+        if self._verify:
+            feasibility = check_feasibility(schedule)
+            feasibility.raise_if_infeasible()
+        return SchedulingOutcome(
+            algorithm=algorithm,
+            objective=schedule.weighted_completion_time(),
+            lower_bound=lp_solution.objective,
+            lp_solution=lp_solution,
+            schedule=schedule,
+            feasibility=feasibility,
+            extras=dict(extras or {}),
+        )
+
+    def heuristic(self, *, compact: bool = True) -> SchedulingOutcome:
+        """The LP-based heuristic (λ = 1) of Section 6.2."""
+        schedule = lp_heuristic_schedule(self.solve_lp(), compact=compact)
+        return self._outcome("lp-heuristic", schedule, {"lambda": 1.0})
+
+    def stretch(
+        self, *, lam: Optional[float] = None, compact: bool = True
+    ) -> SchedulingOutcome:
+        """One run of the randomized Stretch algorithm (Section 4.1)."""
+        result: StretchResult = run_stretch(
+            self.solve_lp(), lam=lam, rng=self._rng, compact=compact
+        )
+        return self._outcome(
+            "stretch", result.schedule, {"lambda": result.lam}
+        )
+
+    def stretch_evaluation(
+        self,
+        *,
+        num_samples: int = DEFAULT_NUM_SAMPLES,
+        compact: bool = True,
+    ) -> StretchEvaluation:
+        """Run Stretch for several λ samples (the paper's 20-sample protocol)."""
+        return evaluate_stretch(
+            self.solve_lp(), num_samples=num_samples, rng=self._rng, compact=compact
+        )
+
+    def best_stretch(
+        self,
+        *,
+        num_samples: int = DEFAULT_NUM_SAMPLES,
+        compact: bool = True,
+    ) -> SchedulingOutcome:
+        """The best schedule over *num_samples* λ draws ("Best λ")."""
+        evaluation = self.stretch_evaluation(num_samples=num_samples, compact=compact)
+        best = evaluation.best_result
+        outcome = self._outcome(
+            "stretch-best", best.schedule, {"lambda": best.lam}
+        )
+        outcome.extras["evaluation"] = evaluation
+        return outcome
+
+
+def solve_coflow_schedule(
+    instance: CoflowInstance,
+    *,
+    algorithm: str = "lp-heuristic",
+    grid: Optional[TimeGrid] = None,
+    num_slots: Optional[int] = None,
+    slot_length: float = 1.0,
+    epsilon: Optional[float] = None,
+    rng: RandomSource = None,
+    compact: bool = True,
+    num_samples: int = DEFAULT_NUM_SAMPLES,
+    verify: bool = True,
+) -> SchedulingOutcome:
+    """One-call entry point: schedule *instance* with the chosen algorithm.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"lp-heuristic"`` (default), ``"stretch"`` (one random λ),
+        ``"stretch-best"`` (best of *num_samples* λ draws) or
+        ``"stretch-average"`` (reports the mean objective over the draws;
+        the returned schedule is the best one).
+    Remaining parameters are forwarded to :class:`CoflowScheduler`.
+    """
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
+        )
+    scheduler = CoflowScheduler(
+        instance,
+        grid=grid,
+        num_slots=num_slots,
+        slot_length=slot_length,
+        epsilon=epsilon,
+        rng=rng,
+        verify=verify,
+    )
+    if algorithm == "lp-heuristic":
+        return scheduler.heuristic(compact=compact)
+    if algorithm == "stretch":
+        return scheduler.stretch(compact=compact)
+    if algorithm == "stretch-best":
+        return scheduler.best_stretch(num_samples=num_samples, compact=compact)
+    # stretch-average
+    evaluation = scheduler.stretch_evaluation(
+        num_samples=num_samples, compact=compact
+    )
+    best = evaluation.best_result
+    outcome = SchedulingOutcome(
+        algorithm="stretch-average",
+        objective=evaluation.average_objective,
+        lower_bound=scheduler.lower_bound,
+        lp_solution=scheduler.solve_lp(),
+        schedule=best.schedule,
+        feasibility=check_feasibility(best.schedule) if verify else None,
+        extras={"evaluation": evaluation, "best_lambda": best.lam},
+    )
+    return outcome

@@ -1,0 +1,273 @@
+"""The Stretch algorithm (paper Section 4.1) — a randomized 2-approximation.
+
+Given an optimal solution of the time-indexed LP, Stretch:
+
+1. draws ``lambda`` in ``(0, 1)`` from the density ``f(v) = 2v``;
+2. replays the LP schedule slowed down by a factor ``1 / lambda`` — whatever
+   the LP transmits during ``[a, b]`` is transmitted during
+   ``[a / lambda, b / lambda]``;
+3. stops transmitting a flow as soon as its full demand has shipped (the
+   remaining stretched slots stay idle).
+
+Theorem 4.4: the expected weighted completion time of the resulting schedule
+is at most twice the LP objective, hence at most twice the optimum.
+
+The practical refinement of Section 6.1 (move whole slots into earlier idle
+slots) is available via ``compact=True`` and is applied by default, exactly
+as in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.timeindexed import CoflowLPSolution
+from repro.schedule.compaction import compact_schedule, truncate_completed_flows
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+from repro.utils.rng import RandomSource, as_generator, sample_lambda
+from repro.utils.validation import check_in_range
+
+#: Number of λ samples used by the paper's experiments ("we sample 20 times").
+DEFAULT_NUM_SAMPLES = 20
+
+
+def _overlap_matrix(
+    source_grid: TimeGrid, target_grid: TimeGrid, lam: float
+) -> np.ndarray:
+    """Matrix ``M[t, u]``: fraction of a flow deposited into target slot *u*
+    per unit of LP fraction scheduled in source slot *t*.
+
+    Stretching by ``1 / lam`` replays the LP schedule at its **original
+    per-unit-time rates** over a ``1 / lam`` longer timeline: what the LP
+    transmits during ``[a, b]`` is transmitted during ``[a / lam, b / lam]``
+    at the same rate, so ``1 / lam`` times as much data is (tentatively)
+    shipped — step (4) of the algorithm then truncates each flow once its
+    full demand has been met.  Keeping the original rates is what makes every
+    flow complete by its ``C_j^*(lambda) / lambda`` point (footnote 3 of the
+    paper) while per-slot capacity and conservation constraints keep holding
+    (each target slot carries a convex combination of feasible LP slot
+    transmissions).
+
+    Entry ``M[t, u]`` is therefore ``|stretched_t ∩ target_u| / (b - a)``;
+    each row sums to ``1 / lam`` when the target grid covers the stretched
+    horizon.
+    """
+    src_bounds = source_grid.boundaries / lam
+    tgt_bounds = target_grid.boundaries
+    src_start = src_bounds[:-1].reshape(-1, 1)
+    src_end = src_bounds[1:].reshape(-1, 1)
+    tgt_start = tgt_bounds[:-1].reshape(1, -1)
+    tgt_end = tgt_bounds[1:].reshape(1, -1)
+    overlap = np.clip(
+        np.minimum(src_end, tgt_end) - np.maximum(src_start, tgt_start), 0.0, None
+    )
+    source_durations = source_grid.durations.reshape(-1, 1)
+    return overlap / source_durations
+
+
+def default_stretched_grid(source_grid: TimeGrid, lam: float) -> TimeGrid:
+    """The uniform grid the stretched schedule is expressed on.
+
+    Uses the source grid's first slot length and enough slots to cover the
+    stretched horizon ``horizon / lam``.
+    """
+    slot_length = source_grid.slot_duration(0)
+    num_slots = int(np.ceil(source_grid.horizon / lam / slot_length + 1e-9))
+    return TimeGrid.uniform(max(num_slots, 1), slot_length)
+
+
+def stretch_fractions(
+    fractions: np.ndarray,
+    source_grid: TimeGrid,
+    lam: float,
+    *,
+    target_grid: Optional[TimeGrid] = None,
+    edge_fractions: Optional[np.ndarray] = None,
+):
+    """Stretch per-slot fractions by ``1 / lam`` onto a (new) time grid.
+
+    Parameters
+    ----------
+    fractions:
+        LP fractions, shape ``(num_flows, source_slots)``.
+    source_grid:
+        Grid the fractions are expressed on.
+    lam:
+        Stretch parameter in ``(0, 1]``.
+    target_grid:
+        Grid for the stretched schedule; defaults to
+        :func:`default_stretched_grid`.
+    edge_fractions:
+        Optional per-edge fractions ``(num_flows, source_slots, num_edges)``
+        stretched with the same overlap weights (the per-slot transmission in
+        the stretched schedule is a convex combination of feasible per-slot
+        transmissions, hence itself feasible — see the paper's Section 4.1).
+
+    Returns
+    -------
+    (new_fractions, new_edge_fractions, target_grid)
+    """
+    check_in_range(lam, "lam", 0.0, 1.0, low_open=True)
+    if target_grid is None:
+        target_grid = default_stretched_grid(source_grid, lam)
+    matrix = _overlap_matrix(source_grid, target_grid, lam)
+    new_fractions = fractions @ matrix
+    new_edge_fractions = None
+    if edge_fractions is not None:
+        # (f, t, e) x (t, u) -> (f, u, e)
+        new_edge_fractions = np.einsum("fte,tu->fue", edge_fractions, matrix)
+    return new_fractions, new_edge_fractions, target_grid
+
+
+def _truncate_with_edges(
+    fractions: np.ndarray, edge_fractions: Optional[np.ndarray]
+):
+    """Apply the "stop once the demand has shipped" rule (step 4 of Stretch)."""
+    truncated = truncate_completed_flows(fractions)
+    if edge_fractions is None:
+        return truncated, None
+    ratio = np.ones_like(fractions)
+    positive = fractions > 1e-15
+    ratio[positive] = truncated[positive] / fractions[positive]
+    ratio[~positive] = 0.0
+    new_edges = edge_fractions * ratio[:, :, None]
+    return truncated, new_edges
+
+
+@dataclass
+class StretchResult:
+    """One run of the Stretch algorithm for a fixed ``lambda``."""
+
+    lam: float
+    schedule: Schedule
+    objective: float
+    lp_lower_bound: float
+    compacted: bool
+
+    @property
+    def approximation_ratio(self) -> float:
+        """Objective divided by the LP lower bound (>= 1 up to tolerance)."""
+        if self.lp_lower_bound <= 0:
+            return float("inf")
+        return self.objective / self.lp_lower_bound
+
+
+@dataclass
+class StretchEvaluation:
+    """Aggregate of several λ samples (the paper's "Best λ" / "Average λ")."""
+
+    results: List[StretchResult] = field(default_factory=list)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.results)
+
+    @property
+    def objectives(self) -> np.ndarray:
+        return np.array([r.objective for r in self.results], dtype=float)
+
+    @property
+    def lambdas(self) -> np.ndarray:
+        return np.array([r.lam for r in self.results], dtype=float)
+
+    @property
+    def average_objective(self) -> float:
+        """The paper's "Average λ" series: mean objective over the samples."""
+        return float(self.objectives.mean())
+
+    @property
+    def best_objective(self) -> float:
+        """The paper's "Best λ" series: best objective over the samples."""
+        return float(self.objectives.min())
+
+    @property
+    def best_result(self) -> StretchResult:
+        return self.results[int(np.argmin(self.objectives))]
+
+    @property
+    def best_lambda(self) -> float:
+        return self.best_result.lam
+
+    @property
+    def worst_objective(self) -> float:
+        return float(self.objectives.max())
+
+
+def run_stretch(
+    lp_solution: CoflowLPSolution,
+    *,
+    lam: Optional[float] = None,
+    rng: RandomSource = None,
+    compact: bool = True,
+) -> StretchResult:
+    """Run the Stretch algorithm once.
+
+    Parameters
+    ----------
+    lp_solution:
+        An optimal time-indexed LP solution
+        (:func:`repro.core.timeindexed.solve_time_indexed_lp`).
+    lam:
+        Stretch parameter; when omitted it is drawn from the density
+        ``f(v) = 2v`` as in the paper.  ``lam = 1`` replays the LP schedule
+        unchanged (the LP-based heuristic).
+    rng:
+        Random source used only when *lam* is ``None``.
+    compact:
+        Apply the Section 6.1 idle-slot compaction to the stretched schedule.
+    """
+    if lam is None:
+        lam = float(sample_lambda(as_generator(rng)))
+    check_in_range(lam, "lam", 0.0, 1.0, low_open=True)
+
+    fractions, edge_fractions, grid = stretch_fractions(
+        lp_solution.fractions,
+        lp_solution.grid,
+        lam,
+        edge_fractions=lp_solution.edge_fractions,
+    )
+    fractions, edge_fractions = _truncate_with_edges(fractions, edge_fractions)
+
+    schedule = Schedule(
+        lp_solution.instance,
+        grid,
+        fractions,
+        edge_fractions,
+        metadata={"algorithm": "stretch", "lambda": lam},
+    )
+    if compact:
+        schedule = compact_schedule(schedule)
+    return StretchResult(
+        lam=lam,
+        schedule=schedule,
+        objective=schedule.weighted_completion_time(),
+        lp_lower_bound=lp_solution.objective,
+        compacted=compact,
+    )
+
+
+def evaluate_stretch(
+    lp_solution: CoflowLPSolution,
+    *,
+    num_samples: int = DEFAULT_NUM_SAMPLES,
+    rng: RandomSource = None,
+    compact: bool = True,
+) -> StretchEvaluation:
+    """Run Stretch for *num_samples* independent λ draws (paper Section 6.1).
+
+    The returned evaluation exposes the two series the paper plots:
+    ``average_objective`` ("Average λ" — an estimate of the algorithm's
+    expected objective) and ``best_objective`` ("Best λ").
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be at least 1")
+    gen = as_generator(rng)
+    results = [
+        run_stretch(lp_solution, rng=gen, compact=compact)
+        for _ in range(num_samples)
+    ]
+    return StretchEvaluation(results=results)

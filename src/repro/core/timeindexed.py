@@ -1,0 +1,541 @@
+"""The time-indexed LP relaxation for coflow scheduling in networks.
+
+This module implements the linear program of the paper's Section 3 —
+constraints (1)–(5) shared by both models, plus the model-specific
+constraints: edge bandwidths along pinned paths for the single path model
+(Eq. 6) and per-slot multicommodity-flow constraints for the free path
+model (Eqs. 7–10).  The geometric-interval variant of Appendix A
+(Eqs. 14–23) is obtained simply by passing a geometric
+:class:`~repro.schedule.timegrid.TimeGrid`: every constraint below is
+written in terms of slot durations, which are 1 for the uniform grid and
+``tau_t - tau_{t-1}`` for the geometric one.
+
+Variables
+---------
+``x[f, t]``
+    Fraction of flow *f* scheduled during slot *t* (paper ``x_j^i(t)``).
+``X[j, t]``
+    Fraction of coflow *j* completed by the end of slot *t* (paper
+    ``X_j(t)``), bounded to [0, 1].
+``C[j]``
+    Completion-time variable of coflow *j*.
+``y[f, t, e]`` (free path only)
+    Fraction of flow *f* carried by edge *e* during slot *t* (paper
+    ``x_j^i(t, e)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.lp.result import LPResult
+from repro.lp.solver import solve_lp
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+from repro.utils.validation import check_positive
+
+
+# --------------------------------------------------------------------------- #
+# horizon estimation
+# --------------------------------------------------------------------------- #
+def suggest_horizon(
+    instance: CoflowInstance,
+    *,
+    slot_length: float = 1.0,
+    slack: float = 1.1,
+) -> int:
+    """A safe number of uniform slots ``T`` for the time-indexed LP.
+
+    The LP needs a horizon large enough that *some* feasible schedule exists.
+    Serialising all flows is always feasible, so we bound the horizon by the
+    latest release time plus the serial transmission time, where each flow's
+    serial time uses the bottleneck bandwidth of its pinned path (single
+    path) or its maximum ``s -> t`` flow value (free path).
+
+    Parameters
+    ----------
+    instance:
+        The instance to bound.
+    slot_length:
+        Length of the uniform slots the LP will use.
+    slack:
+        Multiplier (> 1) applied to the serial time; a little slack keeps the
+        LP comfortably feasible and leaves room for the completion-time
+        variables to do their job.
+
+    Returns
+    -------
+    int
+        Number of slots (at least 1).
+    """
+    check_positive(slot_length, "slot_length")
+    check_positive(slack, "slack")
+    serial_time = 0.0
+    graph = instance.graph
+    rate_cache: Dict[tuple, float] = {}
+    for ref in instance.flow_refs():
+        flow = ref.flow
+        if instance.model is TransmissionModel.SINGLE_PATH and flow.has_path:
+            rate = graph.path_bottleneck(flow.path)  # type: ignore[arg-type]
+        else:
+            key = (flow.source, flow.sink)
+            if key not in rate_cache:
+                rate_cache[key] = graph.max_flow_value(flow.source, flow.sink)
+            rate = rate_cache[key]
+        if rate <= 0:
+            raise ValueError(
+                f"flow {ref.label} has no positive-rate route; instance infeasible"
+            )
+        serial_time += flow.demand / rate
+    horizon_time = instance.max_release_time() + serial_time * slack
+    return max(int(np.ceil(horizon_time / slot_length)) + 1, 1)
+
+
+# --------------------------------------------------------------------------- #
+# LP solution container
+# --------------------------------------------------------------------------- #
+@dataclass
+class CoflowLPSolution:
+    """An optimal solution of the time-indexed (or interval-indexed) LP.
+
+    Attributes
+    ----------
+    instance, grid:
+        The problem and time grid the LP was built on.
+    objective:
+        The LP objective ``sum_j w_j C_j*`` — a valid lower bound on the
+        optimal weighted completion time (paper Eq. 11).
+    completion_times:
+        The LP completion-time variables ``C_j*`` per coflow.
+    fractions:
+        Optimal ``x[f, t]`` values, shape ``(num_flows, num_slots)``.
+    edge_fractions:
+        Optimal ``y[f, t, e]`` values for the free path model, otherwise
+        ``None``.
+    lp_result:
+        The raw solver result (status, timings, sizes).
+    """
+
+    instance: CoflowInstance
+    grid: TimeGrid
+    objective: float
+    completion_times: np.ndarray
+    fractions: np.ndarray
+    edge_fractions: Optional[np.ndarray]
+    lp_result: LPResult
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def lower_bound(self) -> float:
+        """Alias for :attr:`objective`, emphasising its role as a bound."""
+        return self.objective
+
+    def to_schedule(self) -> Schedule:
+        """The LP solution interpreted directly as a schedule.
+
+        This is exactly the "LP-based heuristic" raw material of the paper's
+        Section 6.2: the LP fractions form a feasible transmission schedule,
+        whose *true* completion times (Eq. 12) can exceed the LP
+        completion-time variables.
+        """
+        return Schedule(
+            self.instance,
+            self.grid,
+            self.fractions.copy(),
+            None if self.edge_fractions is None else self.edge_fractions.copy(),
+            metadata={"source": "lp", **self.metadata},
+        )
+
+    def fractional_completion_times(self) -> np.ndarray:
+        """Continuous-time fractional completion times implied by the fractions.
+
+        Computed as ``sum_t midpoint-weighted x`` — only used for diagnostics
+        and tests; the LP's own ``C_j`` variables are the quantity the
+        analysis works with.
+        """
+        coflow_idx = self.instance.coflow_of_flow()
+        cumulative = np.cumsum(self.fractions, axis=1)
+        ends = self.grid.boundaries[1:]
+        # Fractional completion of a flow: integral of (1 - cumulative) + first slot end.
+        durations = self.grid.durations
+        remaining = np.clip(1.0 - cumulative, 0.0, None)
+        flow_frac = durations[0] + remaining @ durations
+        times = np.zeros(self.instance.num_coflows, dtype=float)
+        np.maximum.at(times, coflow_idx, flow_frac)
+        return times
+
+
+@dataclass
+class _LPIndexBundle:
+    """Variable-index arrays for one assembled coflow LP."""
+
+    x: np.ndarray  # (num_flows, T)
+    big_x: np.ndarray  # (num_coflows, T)
+    c: np.ndarray  # (num_coflows,)
+    y: Optional[np.ndarray]  # (num_flows, T, E) or None
+
+
+# --------------------------------------------------------------------------- #
+# LP construction
+# --------------------------------------------------------------------------- #
+def build_time_indexed_lp(
+    instance: CoflowInstance,
+    grid: TimeGrid,
+) -> tuple[LinearProgram, _LPIndexBundle]:
+    """Assemble the LP of Section 3 / Appendix A for *instance* on *grid*.
+
+    Returns the :class:`~repro.lp.model.LinearProgram` plus the index bundle
+    needed to read the solution back.  Use :func:`solve_time_indexed_lp` for
+    the common build-and-solve path.
+    """
+    num_flows = instance.num_flows
+    num_coflows = instance.num_coflows
+    num_slots = grid.num_slots
+    durations = grid.durations
+    graph = instance.graph
+    num_edges = graph.num_edges
+    free_path = instance.model is TransmissionModel.FREE_PATH
+
+    lp = LinearProgram(name=f"coflow-{instance.model.value}-{instance.name}")
+
+    # ----------------------------- variables --------------------------- #
+    x_block = lp.add_variables("x", num_flows * num_slots, lower=0.0, upper=1.0)
+    x_idx = x_block.reshape(num_flows, num_slots)
+    big_x_block = lp.add_variables("X", num_coflows * num_slots, lower=0.0, upper=1.0)
+    big_x_idx = big_x_block.reshape(num_coflows, num_slots)
+    c_block = lp.add_variables("C", num_coflows, lower=0.0)
+    c_idx = c_block.indices()
+    y_idx: Optional[np.ndarray] = None
+    if free_path:
+        y_block = lp.add_variables(
+            "y", num_flows * num_slots * num_edges, lower=0.0, upper=1.0
+        )
+        y_idx = y_block.reshape(num_flows, num_slots, num_edges)
+
+    # ----------------------------- objective --------------------------- #
+    lp.set_objective(c_idx, instance.weights)
+
+    # ------------------------- release times (Eq. 4) ------------------- #
+    release = instance.flow_release_times()
+    allowed = grid.release_mask(release)  # (num_flows, num_slots)
+    forbidden_flows, forbidden_slots = np.nonzero(~allowed)
+    for f, t in zip(forbidden_flows, forbidden_slots):
+        lp.fix_variable(int(x_idx[f, t]), 0.0)
+        if y_idx is not None:
+            for e in range(num_edges):
+                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
+
+    # -------------------- demand satisfaction (Eq. 1) ------------------ #
+    rows = np.repeat(np.arange(num_flows), num_slots)
+    cols = x_idx.reshape(-1)
+    vals = np.ones(num_flows * num_slots)
+    lp.add_constraints_batch(
+        rows, cols, vals, np.ones(num_flows), ConstraintSense.EQUAL
+    )
+
+    # ------------------- coflow completion indicators (Eq. 2) ---------- #
+    # X_j(t) <= sum_{l <= t} x_f(l)   for every flow f of coflow j, every t.
+    coflow_of_flow = instance.coflow_of_flow()
+    batch_rows: list[np.ndarray] = []
+    batch_cols: list[np.ndarray] = []
+    batch_vals: list[np.ndarray] = []
+    row_counter = 0
+    for f in range(num_flows):
+        j = int(coflow_of_flow[f])
+        for t in range(num_slots):
+            size = t + 2  # X_j(t) plus x_f(0..t)
+            rows_ft = np.full(size, row_counter, dtype=np.int64)
+            cols_ft = np.empty(size, dtype=np.int64)
+            vals_ft = np.empty(size, dtype=float)
+            cols_ft[0] = big_x_idx[j, t]
+            vals_ft[0] = 1.0
+            cols_ft[1:] = x_idx[f, : t + 1]
+            vals_ft[1:] = -1.0
+            batch_rows.append(rows_ft)
+            batch_cols.append(cols_ft)
+            batch_vals.append(vals_ft)
+            row_counter += 1
+    lp.add_constraints_batch(
+        np.concatenate(batch_rows),
+        np.concatenate(batch_cols),
+        np.concatenate(batch_vals),
+        np.zeros(row_counter),
+        ConstraintSense.LESS_EQUAL,
+    )
+
+    # ------------------- completion-time lower bound (Eq. 3 / 16) ------ #
+    # C_j >= d_0 + sum_t d_t (1 - X_j(t))
+    #   <=>  -C_j - sum_t d_t X_j(t) <= -(d_0 + sum_t d_t)
+    first_duration = float(durations[0])
+    total_duration = float(durations.sum())
+    rows3: list[np.ndarray] = []
+    cols3: list[np.ndarray] = []
+    vals3: list[np.ndarray] = []
+    rhs3 = np.full(num_coflows, -(first_duration + total_duration))
+    for j in range(num_coflows):
+        size = 1 + num_slots
+        rows_j = np.full(size, j, dtype=np.int64)
+        cols_j = np.empty(size, dtype=np.int64)
+        vals_j = np.empty(size, dtype=float)
+        cols_j[0] = c_idx[j]
+        vals_j[0] = -1.0
+        cols_j[1:] = big_x_idx[j]
+        vals_j[1:] = -durations
+        rows3.append(rows_j)
+        cols3.append(cols_j)
+        vals3.append(vals_j)
+    lp.add_constraints_batch(
+        np.concatenate(rows3),
+        np.concatenate(cols3),
+        np.concatenate(vals3),
+        rhs3,
+        ConstraintSense.LESS_EQUAL,
+    )
+
+    # ------------------------ model-specific part ----------------------- #
+    if free_path:
+        assert y_idx is not None
+        _add_free_path_constraints(lp, instance, grid, x_idx, y_idx)
+    else:
+        _add_single_path_constraints(lp, instance, grid, x_idx)
+
+    bundle = _LPIndexBundle(x=x_idx, big_x=big_x_idx, c=c_idx, y=y_idx)
+    return lp, bundle
+
+
+def _add_single_path_constraints(
+    lp: LinearProgram,
+    instance: CoflowInstance,
+    grid: TimeGrid,
+    x_idx: np.ndarray,
+) -> None:
+    """Edge bandwidth constraints along pinned paths (paper Eq. 6 / 19)."""
+    graph = instance.graph
+    edge_index = graph.edge_index()
+    capacities = graph.capacity_vector()
+    durations = grid.durations
+    num_slots = grid.num_slots
+
+    # For each edge, collect the flows whose pinned path uses it.
+    flows_on_edge: Dict[int, list[tuple[int, float]]] = {}
+    for ref in instance.flow_refs():
+        flow = ref.flow
+        if not flow.has_path:
+            raise ValueError(
+                f"single path LP requires a pinned path on flow {ref.label}"
+            )
+        for edge in flow.path_edges():
+            flows_on_edge.setdefault(edge_index[edge], []).append(
+                (ref.global_index, flow.demand)
+            )
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    rhs: list[float] = []
+    row_counter = 0
+    for e, flow_list in sorted(flows_on_edge.items()):
+        flow_ids = np.array([f for f, _ in flow_list], dtype=np.int64)
+        demands = np.array([d for _, d in flow_list], dtype=float)
+        for t in range(num_slots):
+            rows.append(np.full(flow_ids.size, row_counter, dtype=np.int64))
+            cols.append(x_idx[flow_ids, t])
+            vals.append(demands)
+            rhs.append(capacities[e] * durations[t])
+            row_counter += 1
+    if row_counter:
+        lp.add_constraints_batch(
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+            np.array(rhs),
+            ConstraintSense.LESS_EQUAL,
+        )
+
+
+def _add_free_path_constraints(
+    lp: LinearProgram,
+    instance: CoflowInstance,
+    grid: TimeGrid,
+    x_idx: np.ndarray,
+    y_idx: np.ndarray,
+) -> None:
+    """Multicommodity-flow constraints of the free path model (Eqs. 7–10 / 20–23).
+
+    In addition to the paper's constraints we fix ``y = 0`` on edges entering
+    a flow's source and leaving its sink.  Any feasible transmission with such
+    circulation can be pruned to one without (remove flow cycles), so this
+    does not change the LP optimum; it removes useless variables and makes
+    solutions directly verifiable as net-flow decompositions.
+    """
+    graph = instance.graph
+    edge_index = graph.edge_index()
+    capacities = graph.capacity_vector()
+    durations = grid.durations
+    num_slots = grid.num_slots
+    num_edges = graph.num_edges
+    nodes = graph.nodes
+
+    out_edges = {node: [edge_index[e] for e in graph.out_edges(node)] for node in nodes}
+    in_edges = {node: [edge_index[e] for e in graph.in_edges(node)] for node in nodes}
+
+    eq_rows: list[np.ndarray] = []
+    eq_cols: list[np.ndarray] = []
+    eq_vals: list[np.ndarray] = []
+    eq_rhs: list[float] = []
+    eq_counter = 0
+
+    for ref in instance.flow_refs():
+        f = ref.global_index
+        src, dst = ref.flow.source, ref.flow.sink
+        # Disallow circulation through the endpoints (see docstring).
+        for e in in_edges[src]:
+            for t in range(num_slots):
+                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
+        for e in out_edges[dst]:
+            for t in range(num_slots):
+                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
+
+        src_out = np.array(out_edges[src], dtype=np.int64)
+        dst_in = np.array(in_edges[dst], dtype=np.int64)
+        for t in range(num_slots):
+            # Eq. (7): sum_{e in delta_out(src)} y = x
+            size = src_out.size + 1
+            eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
+            eq_cols.append(np.concatenate([y_idx[f, t, src_out], [x_idx[f, t]]]))
+            eq_vals.append(np.concatenate([np.ones(src_out.size), [-1.0]]))
+            eq_rhs.append(0.0)
+            eq_counter += 1
+            # Eq. (8): sum_{e in delta_in(dst)} y = x
+            size = dst_in.size + 1
+            eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
+            eq_cols.append(np.concatenate([y_idx[f, t, dst_in], [x_idx[f, t]]]))
+            eq_vals.append(np.concatenate([np.ones(dst_in.size), [-1.0]]))
+            eq_rhs.append(0.0)
+            eq_counter += 1
+            # Eq. (9): conservation at every other node.
+            for node in nodes:
+                if node == src or node == dst:
+                    continue
+                node_in = np.array(in_edges[node], dtype=np.int64)
+                node_out = np.array(out_edges[node], dtype=np.int64)
+                if node_in.size == 0 and node_out.size == 0:
+                    continue
+                size = node_in.size + node_out.size
+                eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
+                eq_cols.append(
+                    np.concatenate([y_idx[f, t, node_in], y_idx[f, t, node_out]])
+                )
+                eq_vals.append(
+                    np.concatenate([np.ones(node_in.size), -np.ones(node_out.size)])
+                )
+                eq_rhs.append(0.0)
+                eq_counter += 1
+
+    if eq_counter:
+        lp.add_constraints_batch(
+            np.concatenate(eq_rows),
+            np.concatenate(eq_cols),
+            np.concatenate(eq_vals),
+            np.array(eq_rhs),
+            ConstraintSense.EQUAL,
+        )
+
+    # Eq. (10): edge bandwidths.
+    num_flows = instance.num_flows
+    demands = instance.demands()
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    rhs: list[float] = []
+    row_counter = 0
+    flow_range = np.arange(num_flows)
+    for t in range(num_slots):
+        for e in range(num_edges):
+            rows.append(np.full(num_flows, row_counter, dtype=np.int64))
+            cols.append(y_idx[flow_range, t, e])
+            vals.append(demands)
+            rhs.append(capacities[e] * durations[t])
+            row_counter += 1
+    lp.add_constraints_batch(
+        np.concatenate(rows),
+        np.concatenate(cols),
+        np.concatenate(vals),
+        np.array(rhs),
+        ConstraintSense.LESS_EQUAL,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# solve
+# --------------------------------------------------------------------------- #
+def solve_time_indexed_lp(
+    instance: CoflowInstance,
+    *,
+    grid: Optional[TimeGrid] = None,
+    num_slots: Optional[int] = None,
+    slot_length: float = 1.0,
+    epsilon: Optional[float] = None,
+    horizon_slack: float = 1.1,
+    solver_method: str = "highs",
+    time_limit: Optional[float] = None,
+) -> CoflowLPSolution:
+    """Build and solve the coflow LP for *instance*.
+
+    Exactly one time-grid specification is used, in this order of precedence:
+
+    1. an explicit *grid*;
+    2. *epsilon* — a geometric grid ``0, 1, (1+eps), ...`` covering the
+       suggested horizon (Appendix A);
+    3. *num_slots* uniform slots of *slot_length*;
+    4. otherwise, a uniform grid sized by :func:`suggest_horizon`.
+
+    Returns
+    -------
+    CoflowLPSolution
+        The optimal LP solution; raises :class:`~repro.lp.solver.LPSolverError`
+        if the LP cannot be solved to optimality.
+    """
+    if grid is None:
+        if epsilon is not None:
+            horizon_slots = suggest_horizon(
+                instance, slot_length=slot_length, slack=horizon_slack
+            )
+            grid = TimeGrid.geometric(horizon_slots * slot_length, epsilon)
+        else:
+            if num_slots is None:
+                num_slots = suggest_horizon(
+                    instance, slot_length=slot_length, slack=horizon_slack
+                )
+            grid = TimeGrid.uniform(num_slots, slot_length)
+
+    lp, bundle = build_time_indexed_lp(instance, grid)
+    result = solve_lp(
+        lp, method=solver_method, time_limit=time_limit, require_optimal=True
+    )
+
+    fractions = result.values(bundle.x)
+    completion_times = result.values(bundle.c)
+    edge_fractions = None
+    if bundle.y is not None:
+        edge_fractions = result.values(bundle.y)
+    objective = float(np.dot(instance.weights, completion_times))
+
+    return CoflowLPSolution(
+        instance=instance,
+        grid=grid,
+        objective=objective,
+        completion_times=completion_times,
+        fractions=fractions,
+        edge_fractions=edge_fractions,
+        lp_result=result,
+        metadata={
+            "solver_method": solver_method,
+            "lp_size": lp.size_summary(),
+        },
+    )

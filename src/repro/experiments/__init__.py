@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.figures` — one :class:`ExperimentConfig` per paper
+  figure (Figs. 6–12) plus the ablation studies listed in DESIGN.md.
+* :mod:`repro.experiments.runner` — runs a configuration and collects the
+  per-workload series values (LP bound, heuristic, best λ, average λ,
+  Terra, Jahanjou et al., ...).
+* :mod:`repro.experiments.reporting` — renders results as aligned text
+  tables of the same rows/series the paper plots.
+"""
+
+from repro.experiments.figures import (
+    ALL_EXPERIMENTS,
+    ExperimentConfig,
+    get_experiment,
+    list_experiments,
+)
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.reporting import format_result_table, summarize_shape_checks
+
+__all__ = [
+    "ExperimentConfig",
+    "ALL_EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "run_experiment",
+    "format_result_table",
+    "summarize_shape_checks",
+]

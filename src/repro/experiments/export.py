@@ -1,0 +1,82 @@
+"""Export experiment results to CSV / JSON.
+
+The reporting module renders human-readable tables; this module writes the
+same data in machine-readable form so results can be archived, diffed
+between runs, or plotted with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.experiments.runner import ExperimentResult
+
+
+def result_to_records(result: ExperimentResult) -> List[Dict[str, object]]:
+    """Flatten a result into one record per (workload, series) pair."""
+    records: List[Dict[str, object]] = []
+    for workload, row in result.values.items():
+        for series, value in row.items():
+            records.append(
+                {
+                    "experiment_id": result.config.experiment_id,
+                    "topology": result.config.topology,
+                    "model": result.config.model.value,
+                    "objective": result.config.objective_name,
+                    "workload": workload,
+                    "series": series,
+                    "value": float(value),
+                }
+            )
+    return records
+
+
+def write_csv(results: Iterable[ExperimentResult], path: str | Path) -> int:
+    """Write one CSV row per (experiment, workload, series); returns row count."""
+    path = Path(path)
+    records: List[Dict[str, object]] = []
+    for result in results:
+        records.extend(result_to_records(result))
+    fieldnames = [
+        "experiment_id",
+        "topology",
+        "model",
+        "objective",
+        "workload",
+        "series",
+        "value",
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    return len(records)
+
+
+def write_json(results: Iterable[ExperimentResult], path: str | Path) -> None:
+    """Write a JSON document with values, timings and configuration echoes."""
+    payload = []
+    for result in results:
+        payload.append(
+            {
+                "experiment_id": result.config.experiment_id,
+                "title": result.config.title,
+                "topology": result.config.topology,
+                "model": result.config.model.value,
+                "weighted": result.config.weighted,
+                "num_coflows": result.config.num_coflows,
+                "seed": result.config.seed,
+                "values": result.values,
+                "timings": result.timings,
+            }
+        )
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def read_json(path: str | Path) -> List[dict]:
+    """Read back a document written by :func:`write_json`."""
+    return json.loads(Path(path).read_text())

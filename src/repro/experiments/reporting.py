@@ -1,0 +1,187 @@
+"""Text rendering of experiment results.
+
+The paper's figures are bar charts; this module prints the same numbers as
+aligned text tables (one row per algorithm series, one column per workload)
+plus the qualitative "shape checks" the reproduction cares about (who wins,
+by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import figures as F
+from repro.experiments.runner import ExperimentResult
+
+#: Human-readable labels for the algorithm series (matching the paper's legends).
+SERIES_LABELS: Dict[str, str] = {
+    F.SERIES_LP_BOUND: "Time indexed LP (lower bound)",
+    F.SERIES_HEURISTIC: "Heuristic (lambda = 1.0)",
+    F.SERIES_BEST_LAMBDA: "Best lambda",
+    F.SERIES_AVERAGE_LAMBDA: "Average lambda",
+    F.SERIES_INTERVAL_LP_BOUND: "Time interval LP (lower bound)",
+    F.SERIES_INTERVAL_HEURISTIC: "Interval heuristic (lambda = 1.0)",
+    F.SERIES_JAHANJOU: "Jahanjou et al.",
+    F.SERIES_TERRA: "Terra",
+    F.SERIES_FIFO: "FIFO",
+    F.SERIES_WSJF: "Weighted SJF",
+    F.SERIES_STRETCH_NO_COMPACTION: "Average lambda (no compaction)",
+    F.SERIES_SINCRONIA: "Sincronia-style BSSI",
+    "lp_variables": "LP variables",
+    "lp_solve_seconds": "LP solve seconds",
+}
+
+
+def _format_value(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def format_result_table(
+    result: ExperimentResult,
+    *,
+    series: Optional[Sequence[str]] = None,
+    include_ratios: bool = True,
+) -> str:
+    """Render an experiment result as an aligned text table.
+
+    One column per workload (or sweep point), one row per series; optionally
+    followed by ratio-to-LP-bound rows, which is how the reproduction is
+    compared against the paper (absolute values depend on the synthetic
+    trace scale, ratios do not).
+    """
+    config = result.config
+    columns = list(result.values.keys())
+    if series is None:
+        requested: List[str] = []
+        for s in config.series:
+            if any(s in result.values[c] for c in columns):
+                requested.append(s)
+        # Include any extra series the runner recorded (e.g. LP sizes).
+        for c in columns:
+            for s in result.values[c]:
+                if s not in requested:
+                    requested.append(s)
+    else:
+        requested = list(series)
+
+    label_width = max(
+        [len(SERIES_LABELS.get(s, s)) for s in requested] + [len("series")]
+    )
+    col_width = max([len(c) for c in columns] + [12])
+
+    lines = []
+    lines.append(f"{config.experiment_id}: {config.title}")
+    lines.append(f"objective: {config.objective_name} (less is better)")
+    header = "series".ljust(label_width) + " | " + " | ".join(
+        c.rjust(col_width) for c in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for s in requested:
+        label = SERIES_LABELS.get(s, s)
+        row = [label.ljust(label_width)]
+        cells = []
+        for c in columns:
+            value = result.values[c].get(s)
+            cells.append(
+                _format_value(value).rjust(col_width) if value is not None else "-".rjust(col_width)
+            )
+        lines.append(row[0] + " | " + " | ".join(cells))
+
+    if include_ratios and F.SERIES_LP_BOUND in requested:
+        lines.append("")
+        lines.append("ratio to the LP lower bound:")
+        for s in requested:
+            if s == F.SERIES_LP_BOUND or s not in SERIES_LABELS:
+                continue
+            ratios = result.ratio_to(s, F.SERIES_LP_BOUND)
+            if not ratios:
+                continue
+            label = SERIES_LABELS.get(s, s)
+            cells = [
+                f"{ratios[c]:.2f}x".rjust(col_width) if c in ratios else "-".rjust(col_width)
+                for c in columns
+            ]
+            lines.append(label.ljust(label_width) + " | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def summarize_shape_checks(result: ExperimentResult) -> Dict[str, bool]:
+    """Qualitative checks of the paper's findings for one experiment.
+
+    Returns a dict of named boolean checks; the benchmark harness asserts on
+    these (EXPERIMENTS.md records the outcomes):
+
+    * ``lp_is_lower_bound`` — every algorithm series is at least the LP bound;
+    * ``heuristic_close_to_bound`` — the λ=1 heuristic is within 2x of the
+      bound (the paper observes it is typically very close);
+    * ``average_lambda_within_2x`` — the expected Stretch objective respects
+      the Theorem 4.4 guarantee (with slack for slotting effects, which the
+      theorem's continuous analysis does not pay);
+    * ``heuristic_beats_jahanjou`` — single path experiments: our heuristic
+      improves significantly on the Jahanjou et al. baseline.
+    """
+    checks: Dict[str, bool] = {}
+    values = result.values
+    if not values:
+        return checks
+
+    def all_columns(predicate) -> bool:
+        applicable = [c for c in values if predicate_applicable(c, predicate)]
+        return all(predicate(values[c]) for c in applicable) if applicable else True
+
+    def predicate_applicable(column: str, predicate) -> bool:
+        try:
+            predicate(values[column])
+            return True
+        except KeyError:
+            return False
+
+    # Only slotted schedules are bounded below by the slotted LP; the
+    # continuous-time baselines (Terra, FIFO, weighted SJF) may dip slightly
+    # below it because they are not restricted to slot boundaries.
+    checks["lp_is_lower_bound"] = all_columns(
+        lambda row: all(
+            row[F.SERIES_LP_BOUND] <= row[s] * (1 + 1e-6)
+            for s in row
+            if s in (
+                F.SERIES_HEURISTIC,
+                F.SERIES_BEST_LAMBDA,
+                F.SERIES_AVERAGE_LAMBDA,
+                F.SERIES_JAHANJOU,
+            )
+        )
+    )
+    if any(F.SERIES_HEURISTIC in row for row in values.values()):
+        checks["heuristic_close_to_bound"] = all_columns(
+            lambda row: row[F.SERIES_HEURISTIC] <= 2.0 * row[F.SERIES_LP_BOUND]
+        )
+    if any(F.SERIES_AVERAGE_LAMBDA in row for row in values.values()):
+        checks["average_lambda_within_2x"] = all_columns(
+            lambda row: row[F.SERIES_AVERAGE_LAMBDA]
+            <= 2.0 * row[F.SERIES_LP_BOUND] + _slotting_slack(row)
+        )
+    if any(F.SERIES_JAHANJOU in row for row in values.values()):
+        checks["heuristic_beats_jahanjou"] = all_columns(
+            lambda row: row[F.SERIES_HEURISTIC] < row[F.SERIES_JAHANJOU]
+        )
+    if any(F.SERIES_TERRA in row for row in values.values()):
+        checks["terra_competitive"] = all_columns(
+            lambda row: row[F.SERIES_TERRA] <= 1.5 * row[F.SERIES_HEURISTIC]
+        )
+    return checks
+
+
+def _slotting_slack(row: Dict[str, float]) -> float:
+    """Additive slack for the 2x check.
+
+    Theorem 4.4's bound is on the continuous-time LP; the implementation pays
+    up to one extra slot per coflow because completion times are rounded up
+    to slot boundaries.  The slack term is small relative to the objectives
+    of the benchmark workloads and only matters for tiny instances.
+    """
+    return 0.0

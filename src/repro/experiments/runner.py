@@ -1,0 +1,284 @@
+"""Experiment runner: from an :class:`ExperimentConfig` to result tables.
+
+The runner generates one workload instance per (experiment, benchmark) pair
+with a seed derived from the experiment seed, solves the time-indexed LP
+once, and evaluates every requested algorithm series on top of it (the LP
+heuristic and the λ-sampling series reuse the same LP solution, exactly as
+the paper's implementation does).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.greedy import fifo_schedule, weighted_sjf_schedule
+from repro.baselines.jahanjou import OPTIMAL_EPSILON, jahanjou_schedule
+from repro.baselines.sincronia import sincronia_schedule
+from repro.baselines.terra import terra_offline_schedule
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.stretch import evaluate_stretch
+from repro.core.timeindexed import CoflowLPSolution, solve_time_indexed_lp
+from repro.experiments import figures as F
+from repro.experiments.figures import ExperimentConfig
+from repro.network.topologies import named_topology
+from repro.utils.rng import as_generator
+from repro.utils.timing import Stopwatch
+from repro.workloads.generator import WorkloadSpec, generate_instance
+
+
+@dataclass
+class ExperimentResult:
+    """Result of one experiment run.
+
+    ``values`` maps ``workload -> series -> objective`` (weighted or total
+    completion time, per the configuration).  For the ε-sweep experiment the
+    "workload" keys are ``"eps=<value>"`` strings, matching the x-axis of
+    the paper's Figure 8.
+    """
+
+    config: ExperimentConfig
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    timings: Dict[str, float] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def experiment_id(self) -> str:
+        return self.config.experiment_id
+
+    def series_values(self, series: str) -> Dict[str, float]:
+        """The named series across all workloads / sweep points."""
+        return {
+            workload: entries[series]
+            for workload, entries in self.values.items()
+            if series in entries
+        }
+
+    def ratio_to(self, series: str, reference: str) -> Dict[str, float]:
+        """Per-workload ratio of one series to another (e.g. vs the LP bound)."""
+        ratios = {}
+        for workload, entries in self.values.items():
+            if series in entries and reference in entries and entries[reference] > 0:
+                ratios[workload] = entries[series] / entries[reference]
+        return ratios
+
+
+def _objective(config: ExperimentConfig, weighted_value: float, total_value: float) -> float:
+    return weighted_value if config.weighted else total_value
+
+
+def _instance_for(
+    config: ExperimentConfig, workload: str, scale: float, seed: int
+) -> CoflowInstance:
+    graph = named_topology(config.topology)
+    num_coflows = max(2, int(round(config.num_coflows * scale)))
+    spec = WorkloadSpec(
+        profile=workload,
+        num_coflows=num_coflows,
+        weighted=config.weighted,
+        demand_scale=config.demand_scale,
+        seed=seed,
+        name=f"{config.experiment_id}-{workload}",
+    )
+    return generate_instance(graph, spec, model=config.model, rng=seed)
+
+
+def _evaluate_series(
+    config: ExperimentConfig,
+    instance: CoflowInstance,
+    lp_solution: CoflowLPSolution,
+    rng: np.random.Generator,
+    watch: Stopwatch,
+) -> Dict[str, float]:
+    """Compute every requested series for one workload instance."""
+    out: Dict[str, float] = {}
+    series = set(config.series)
+
+    if F.SERIES_LP_BOUND in series:
+        out[F.SERIES_LP_BOUND] = (
+            lp_solution.objective
+            if config.weighted
+            else float(lp_solution.completion_times.sum())
+        )
+    if F.SERIES_HEURISTIC in series:
+        with watch.measure("heuristic"):
+            schedule = lp_heuristic_schedule(lp_solution)
+        out[F.SERIES_HEURISTIC] = _objective(
+            config,
+            schedule.weighted_completion_time(),
+            schedule.total_completion_time(),
+        )
+    needs_sampling = series & {F.SERIES_BEST_LAMBDA, F.SERIES_AVERAGE_LAMBDA}
+    if needs_sampling:
+        with watch.measure("stretch_sampling"):
+            evaluation = evaluate_stretch(
+                lp_solution, num_samples=config.num_lambda_samples, rng=rng
+            )
+        if config.weighted:
+            objectives = evaluation.objectives
+        else:
+            objectives = np.array(
+                [r.schedule.total_completion_time() for r in evaluation.results]
+            )
+        if F.SERIES_BEST_LAMBDA in series:
+            out[F.SERIES_BEST_LAMBDA] = float(objectives.min())
+        if F.SERIES_AVERAGE_LAMBDA in series:
+            out[F.SERIES_AVERAGE_LAMBDA] = float(objectives.mean())
+    if F.SERIES_STRETCH_NO_COMPACTION in series:
+        with watch.measure("stretch_no_compaction"):
+            evaluation = evaluate_stretch(
+                lp_solution,
+                num_samples=config.num_lambda_samples,
+                rng=rng,
+                compact=False,
+            )
+        objectives = (
+            evaluation.objectives
+            if config.weighted
+            else np.array(
+                [r.schedule.total_completion_time() for r in evaluation.results]
+            )
+        )
+        out[F.SERIES_STRETCH_NO_COMPACTION] = float(objectives.mean())
+    if F.SERIES_TERRA in series:
+        with watch.measure("terra"):
+            terra = terra_offline_schedule(instance)
+        out[F.SERIES_TERRA] = _objective(
+            config, terra.weighted_completion_time, terra.total_completion_time
+        )
+    if F.SERIES_JAHANJOU in series:
+        with watch.measure("jahanjou"):
+            jah = jahanjou_schedule(instance, epsilon=OPTIMAL_EPSILON)
+        out[F.SERIES_JAHANJOU] = _objective(
+            config, jah.weighted_completion_time, jah.total_completion_time
+        )
+    if F.SERIES_FIFO in series:
+        with watch.measure("fifo"):
+            fifo = fifo_schedule(instance)
+        out[F.SERIES_FIFO] = _objective(
+            config, fifo.weighted_completion_time, fifo.total_completion_time
+        )
+    if F.SERIES_WSJF in series:
+        with watch.measure("weighted_sjf"):
+            wsjf = weighted_sjf_schedule(instance)
+        out[F.SERIES_WSJF] = _objective(
+            config, wsjf.weighted_completion_time, wsjf.total_completion_time
+        )
+    if F.SERIES_SINCRONIA in series:
+        with watch.measure("sincronia"):
+            sincronia = sincronia_schedule(instance)
+        out[F.SERIES_SINCRONIA] = _objective(
+            config,
+            sincronia.weighted_completion_time,
+            sincronia.total_completion_time,
+        )
+    needs_interval = series & {
+        F.SERIES_INTERVAL_LP_BOUND,
+        F.SERIES_INTERVAL_HEURISTIC,
+    }
+    if needs_interval and not config.epsilon_values:
+        with watch.measure("interval_lp"):
+            interval_solution = solve_time_indexed_lp(
+                instance, epsilon=config.epsilon
+            )
+        if F.SERIES_INTERVAL_LP_BOUND in series:
+            out[F.SERIES_INTERVAL_LP_BOUND] = (
+                interval_solution.objective
+                if config.weighted
+                else float(interval_solution.completion_times.sum())
+            )
+        if F.SERIES_INTERVAL_HEURISTIC in series:
+            schedule = lp_heuristic_schedule(interval_solution)
+            out[F.SERIES_INTERVAL_HEURISTIC] = _objective(
+                config,
+                schedule.weighted_completion_time(),
+                schedule.total_completion_time(),
+            )
+    return out
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    *,
+    scale: float = 1.0,
+    rng_seed: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one experiment configuration and collect all series.
+
+    Parameters
+    ----------
+    config:
+        The experiment to run (see
+        :data:`repro.experiments.figures.ALL_EXPERIMENTS`).
+    scale:
+        Multiplier on the number of coflows per workload; ``1.0`` is the
+        repository default, larger values approach the paper's original
+        scale at the cost of much longer LP solves.
+    rng_seed:
+        Seed for the λ-sampling randomness (defaults to the config seed).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    watch = Stopwatch()
+    result = ExperimentResult(config=config)
+    rng = as_generator(config.seed if rng_seed is None else rng_seed)
+    start = time.perf_counter()
+
+    if config.epsilon_values:
+        # ε sweep (Fig. 8): one workload, one column per ε value.
+        workload = config.workloads[0]
+        instance = _instance_for(config, workload, scale, config.seed)
+        for eps in config.epsilon_values:
+            with watch.measure(f"lp[eps={eps:g}]"):
+                solution = solve_time_indexed_lp(instance, epsilon=eps)
+            entries: Dict[str, float] = {}
+            if F.SERIES_INTERVAL_LP_BOUND in config.series:
+                entries[F.SERIES_INTERVAL_LP_BOUND] = (
+                    solution.objective
+                    if config.weighted
+                    else float(solution.completion_times.sum())
+                )
+            if F.SERIES_INTERVAL_HEURISTIC in config.series:
+                schedule = lp_heuristic_schedule(solution)
+                entries[F.SERIES_INTERVAL_HEURISTIC] = _objective(
+                    config,
+                    schedule.weighted_completion_time(),
+                    schedule.total_completion_time(),
+                )
+            entries["lp_variables"] = float(
+                solution.lp_result.metadata.get("variables", 0)
+            )
+            entries["lp_solve_seconds"] = float(solution.lp_result.solve_seconds)
+            result.values[f"eps={eps:g}"] = entries
+    else:
+        for i, workload in enumerate(config.workloads):
+            seed = config.seed + 1000 * i
+            instance = _instance_for(config, workload, scale, seed)
+            with watch.measure(f"lp[{workload}]"):
+                lp_solution = solve_time_indexed_lp(instance)
+            result.values[workload] = _evaluate_series(
+                config, instance, lp_solution, rng, watch
+            )
+            result.metadata[workload] = {
+                "num_coflows": instance.num_coflows,
+                "num_flows": instance.num_flows,
+                "lp_size": lp_solution.lp_result.metadata.get("lp_size"),
+            }
+
+    result.timings = watch.as_dict()
+    result.timings["total"] = time.perf_counter() - start
+    return result
+
+
+def run_all_figures(
+    *, scale: float = 1.0, experiment_ids: Optional[List[str]] = None
+) -> Dict[str, ExperimentResult]:
+    """Run every figure experiment (used by the ``examples/reproduce_figures.py`` script)."""
+    from repro.experiments.figures import ALL_EXPERIMENTS
+
+    ids = experiment_ids or [k for k in sorted(ALL_EXPERIMENTS) if k.startswith("fig")]
+    return {eid: run_experiment(ALL_EXPERIMENTS[eid], scale=scale) for eid in ids}

@@ -1,0 +1,24 @@
+"""Linear-programming substrate.
+
+The paper solves large time-indexed LPs with Gurobi.  This package provides
+the offline equivalent: a small modelling layer
+(:class:`~repro.lp.model.LinearProgram`) that assembles objective and
+constraints into sparse (CSR) matrices, and a solver wrapper
+(:func:`~repro.lp.solver.solve_lp`) around :func:`scipy.optimize.linprog`
+with the HiGHS backend.  The LPs are identical to the paper's; only the
+solver engine differs.
+"""
+
+from repro.lp.model import ConstraintSense, LinearProgram, VariableBlock
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.solver import LPSolverError, solve_lp
+
+__all__ = [
+    "LinearProgram",
+    "VariableBlock",
+    "ConstraintSense",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "LPSolverError",
+]

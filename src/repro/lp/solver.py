@@ -1,0 +1,93 @@
+"""Thin wrapper around :func:`scipy.optimize.linprog` (HiGHS).
+
+The paper used Gurobi; HiGHS (bundled with scipy) solves the exact same LPs
+to optimality, just more slowly.  Keeping the solver behind one function
+means swapping in another backend later only touches this module.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.model import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+
+
+class LPSolverError(RuntimeError):
+    """Raised when an LP cannot be solved to optimality and the caller required it."""
+
+
+#: HiGHS dual-simplex is the most robust choice for these very sparse,
+#: highly degenerate scheduling LPs; "highs" lets scipy pick between simplex
+#: and interior point.
+DEFAULT_METHOD = "highs"
+
+
+def solve_lp(
+    program: LinearProgram,
+    *,
+    method: str = DEFAULT_METHOD,
+    presolve: bool = True,
+    time_limit: Optional[float] = None,
+    require_optimal: bool = False,
+) -> LPResult:
+    """Solve *program* and return an :class:`~repro.lp.result.LPResult`.
+
+    Parameters
+    ----------
+    program:
+        The assembled linear program.
+    method:
+        Any method accepted by :func:`scipy.optimize.linprog`; defaults to
+        HiGHS.
+    presolve:
+        Whether to let the backend presolve (recommended; the time-indexed
+        LPs contain many fixed variables from release-time constraints).
+    time_limit:
+        Optional wall-clock limit in seconds passed to HiGHS.
+    require_optimal:
+        When true, raise :class:`LPSolverError` unless the status is optimal.
+    """
+    c, a_ub, b_ub, a_eq, b_eq, bounds = program.build_matrices()
+    options: dict = {"presolve": presolve}
+    if time_limit is not None and method.startswith("highs"):
+        options["time_limit"] = float(time_limit)
+
+    start = time.perf_counter()
+    scipy_result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method=method,
+        options=options,
+    )
+    elapsed = time.perf_counter() - start
+
+    status = LPStatus.from_scipy(scipy_result.status)
+    if status is LPStatus.OPTIMAL:
+        result = LPResult(
+            status=status,
+            objective=float(scipy_result.fun),
+            x=np.asarray(scipy_result.x, dtype=float),
+            solve_seconds=elapsed,
+            message=str(scipy_result.message),
+            metadata=program.size_summary(),
+        )
+    else:
+        result = LPResult.failed(status, message=str(scipy_result.message))
+        result.solve_seconds = elapsed
+        result.metadata = program.size_summary()
+
+    if require_optimal and not result.is_optimal:
+        raise LPSolverError(
+            f"LP {program.name!r} failed to solve: {result.status.value} "
+            f"({result.message})"
+        )
+    return result

@@ -1,0 +1,132 @@
+"""Graph gadgets: modelling switch-style I/O limits inside the graph model.
+
+The paper's footnote 1 explains how the classic *switch model* (each machine
+can send/receive at a bounded aggregate rate) is captured in the graph
+model: replace each datacenter node with a two-node gadget.  The outer node
+keeps the original links; the inner node is the true source/destination of
+all demands and connects to the outer node via a pair of edges whose
+capacities are exactly the node's ingress/egress limits.
+
+These helpers implement that construction, which is used by the MapReduce
+shuffle example and by tests that cross-check against concurrent open shop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.network.graph import NetworkGraph
+from repro.utils.validation import check_positive
+
+#: Suffix appended to the inner (true endpoint) node of an I/O gadget.
+INNER_SUFFIX = "#io"
+
+
+def inner_node(node: str) -> str:
+    """Label of the inner gadget node for *node*."""
+    return f"{node}{INNER_SUFFIX}"
+
+
+def with_io_limits(
+    graph: NetworkGraph,
+    limits: Mapping[str, float] | Mapping[str, Tuple[float, float]],
+    *,
+    name: Optional[str] = None,
+) -> NetworkGraph:
+    """Return a copy of *graph* where the listed nodes carry I/O rate limits.
+
+    Parameters
+    ----------
+    graph:
+        The base topology.
+    limits:
+        Mapping from node label to either a single aggregate limit (applied
+        to both ingress and egress) or an ``(egress, ingress)`` pair.
+    name:
+        Optional name for the new graph.
+
+    Notes
+    -----
+    Demands whose endpoints are limited nodes should be re-targeted at the
+    corresponding :func:`inner_node`; :func:`retarget_endpoints` does this
+    for coflow endpoint maps.
+    """
+    result = NetworkGraph(name=name or f"{graph.name}+io")
+    for (u, v), cap in graph.capacities().items():
+        result.add_edge(u, v, cap)
+    for node, limit in limits.items():
+        if not graph.has_node(node):
+            raise KeyError(f"node {node!r} not present in graph {graph.name!r}")
+        if isinstance(limit, tuple):
+            egress, ingress = limit
+        else:
+            egress = ingress = limit
+        check_positive(egress, f"egress limit of {node!r}")
+        check_positive(ingress, f"ingress limit of {node!r}")
+        result.add_edge(inner_node(node), node, float(egress))
+        result.add_edge(node, inner_node(node), float(ingress))
+    return result
+
+
+def retarget_endpoints(
+    endpoints: Sequence[str], limited_nodes: Sequence[str]
+) -> Dict[str, str]:
+    """Map original endpoints onto gadget inner nodes where applicable."""
+    limited = set(limited_nodes)
+    return {
+        node: (inner_node(node) if node in limited else node) for node in endpoints
+    }
+
+
+def switch_fabric_topology(
+    num_machines: int,
+    *,
+    ingress_rate: float = 1.0,
+    egress_rate: float = 1.0,
+    fabric_rate: Optional[float] = None,
+    name: Optional[str] = None,
+) -> NetworkGraph:
+    """A non-blocking switch modelled as a graph (the classic coflow setting).
+
+    Machines ``m1 .. mK`` each connect to a central ``fabric`` node.  The
+    uplink (machine -> fabric) carries the machine's egress rate and the
+    downlink (fabric -> machine) its ingress rate, so the fabric node behaves
+    exactly like the big non-blocking switch of Chowdhury & Stoica's original
+    model: a machine's total send (receive) rate is bounded, but the core is
+    never the bottleneck.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of machines attached to the switch (>= 2).
+    ingress_rate, egress_rate:
+        Per-machine port speeds.
+    fabric_rate:
+        Optional aggregate core bandwidth.  When given, an extra core gadget
+        bounds the total traffic crossing the switch (an oversubscribed
+        fabric); when omitted the core is non-blocking.
+    """
+    if num_machines < 2:
+        raise ValueError("num_machines must be at least 2")
+    check_positive(ingress_rate, "ingress_rate")
+    check_positive(egress_rate, "egress_rate")
+    graph = NetworkGraph(name=name or f"switch-{num_machines}")
+    if fabric_rate is None:
+        for i in range(1, num_machines + 1):
+            machine = f"m{i}"
+            graph.add_edge(machine, "fabric", egress_rate)
+            graph.add_edge("fabric", machine, ingress_rate)
+    else:
+        check_positive(fabric_rate, "fabric_rate")
+        # Oversubscribed core: all traffic must traverse the core edge.
+        for i in range(1, num_machines + 1):
+            machine = f"m{i}"
+            graph.add_edge(machine, "fabric-in", egress_rate)
+            graph.add_edge("fabric-out", machine, ingress_rate)
+        graph.add_edge("fabric-in", "fabric-out", fabric_rate)
+    return graph
+
+
+def machine_nodes(graph: NetworkGraph) -> Tuple[str, ...]:
+    """The machine nodes of a :func:`switch_fabric_topology` graph."""
+    return tuple(n for n in graph.nodes if n.startswith("m") and n[1:].isdigit())

@@ -1,0 +1,28 @@
+"""Online coflow scheduling (the paper's Section 7 outlook).
+
+The paper's conclusion points to online scheduling as the next challenge and
+cites Khuller et al. (LATIN 2018), whose framework turns any offline
+approximation for weighted completion time into an online algorithm by
+batching jobs over geometrically growing intervals.  This package implements
+that framework on top of the offline algorithms of :mod:`repro.core`:
+
+* :func:`~repro.online.batch.online_batch_schedule` — the doubling /
+  batching framework: coflows released during one epoch are scheduled
+  together (with the offline LP heuristic or Stretch) once the epoch closes
+  and the previous batch has drained;
+* :func:`~repro.online.batch.greedy_online_schedule` — a simple
+  non-clairvoyant baseline that re-runs a priority rule at every release
+  (used to show what the LP batching buys).
+"""
+
+from repro.online.batch import (
+    OnlineScheduleResult,
+    greedy_online_schedule,
+    online_batch_schedule,
+)
+
+__all__ = [
+    "OnlineScheduleResult",
+    "online_batch_schedule",
+    "greedy_online_schedule",
+]

@@ -1,0 +1,40 @@
+"""Concurrent open shop: the problem coflow scheduling generalises.
+
+The paper's hardness result (Section 5, Theorem 5.1) reduces concurrent open
+shop — NP-hard to approximate within ``2 - eps`` — to coflow scheduling on a
+graph of disjoint unit-capacity edges.  This package implements:
+
+* the concurrent open shop problem itself
+  (:class:`~repro.openshop.instance.OpenShopInstance`);
+* both directions of the paper's reduction
+  (:mod:`repro.openshop.reduction`);
+* reference schedulers for concurrent open shop
+  (:mod:`repro.openshop.schedulers`): weighted-shortest-processing-time list
+  scheduling, an LP-ordering scheduler, and brute-force optimum for tiny
+  instances.
+
+These are used by the test suite to validate the coflow algorithms against
+independently computed optima, and by the hardness-gadget example.
+"""
+
+from repro.openshop.instance import OpenShopInstance
+from repro.openshop.reduction import (
+    coflow_schedule_to_openshop_times,
+    openshop_to_coflow_instance,
+)
+from repro.openshop.schedulers import (
+    brute_force_optimum,
+    list_schedule,
+    lp_order_schedule,
+    wspt_order,
+)
+
+__all__ = [
+    "OpenShopInstance",
+    "openshop_to_coflow_instance",
+    "coflow_schedule_to_openshop_times",
+    "wspt_order",
+    "list_schedule",
+    "lp_order_schedule",
+    "brute_force_optimum",
+]

@@ -1,0 +1,138 @@
+"""The concurrent open shop problem.
+
+There are ``m`` machines and ``n`` jobs; job ``j`` needs ``p[i][j]`` units of
+processing on machine ``i``.  A job may be processed on several machines at
+the same time (unlike the classic open shop), each machine processes one unit
+of work per unit time, and a job completes when all of its machine demands
+are done.  The objective is the weighted sum of job completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+
+@dataclass
+class OpenShopInstance:
+    """A concurrent open shop instance.
+
+    Parameters
+    ----------
+    processing:
+        Matrix of shape ``(num_machines, num_jobs)``; entry ``[i, j]`` is the
+        amount of work job *j* requires on machine *i* (0 allowed).
+    weights:
+        Job weights (default all 1).
+    release_times:
+        Job release times (default all 0).
+    """
+
+    processing: np.ndarray
+    weights: Optional[np.ndarray] = None
+    release_times: Optional[np.ndarray] = None
+    name: str = field(default="openshop", compare=False)
+
+    def __post_init__(self) -> None:
+        self.processing = np.asarray(self.processing, dtype=float)
+        if self.processing.ndim != 2:
+            raise ValueError("processing must be a 2-D (machines x jobs) matrix")
+        if np.any(self.processing < 0):
+            raise ValueError("processing times must be non-negative")
+        if np.any(self.processing.sum(axis=0) <= 0):
+            raise ValueError("every job must require work on at least one machine")
+        m, n = self.processing.shape
+        if m < 1 or n < 1:
+            raise ValueError("need at least one machine and one job")
+        if self.weights is None:
+            self.weights = np.ones(n, dtype=float)
+        else:
+            self.weights = np.asarray(self.weights, dtype=float)
+            if self.weights.shape != (n,):
+                raise ValueError(f"weights must have shape ({n},)")
+            for w in self.weights:
+                check_positive(float(w), "job weight")
+        if self.release_times is None:
+            self.release_times = np.zeros(n, dtype=float)
+        else:
+            self.release_times = np.asarray(self.release_times, dtype=float)
+            if self.release_times.shape != (n,):
+                raise ValueError(f"release_times must have shape ({n},)")
+            for r in self.release_times:
+                check_nonnegative(float(r), "job release time")
+
+    @property
+    def num_machines(self) -> int:
+        return self.processing.shape[0]
+
+    @property
+    def num_jobs(self) -> int:
+        return self.processing.shape[1]
+
+    def machine_load(self) -> np.ndarray:
+        """Total work on each machine (a trivial makespan lower bound)."""
+        return self.processing.sum(axis=1)
+
+    def completion_times_for_order(self, order: Sequence[int]) -> np.ndarray:
+        """Job completion times when every machine processes jobs in *order*.
+
+        For concurrent open shop (without release times) permutation schedules
+        are dominant: processing jobs in the same order on every machine,
+        each machine back to back, is optimal for *some* order.  With release
+        times the machines idle until the job is released.
+        """
+        order = list(order)
+        if sorted(order) != list(range(self.num_jobs)):
+            raise ValueError("order must be a permutation of the job indices")
+        completion = np.zeros(self.num_jobs, dtype=float)
+        machine_time = np.zeros(self.num_machines, dtype=float)
+        for j in order:
+            start = np.maximum(machine_time, self.release_times[j])
+            finish = start + self.processing[:, j]
+            # Machines with zero processing for this job do not advance.
+            active = self.processing[:, j] > 0
+            machine_time = np.where(active, finish, machine_time)
+            completion[j] = float(finish[active].max()) if active.any() else float(
+                self.release_times[j]
+            )
+        return completion
+
+    def weighted_completion_time(self, completion: np.ndarray) -> float:
+        """Objective value for a vector of job completion times."""
+        completion = np.asarray(completion, dtype=float)
+        if completion.shape != (self.num_jobs,):
+            raise ValueError("completion must have one entry per job")
+        return float(np.dot(self.weights, completion))
+
+    @classmethod
+    def random(
+        cls,
+        num_machines: int,
+        num_jobs: int,
+        rng: np.random.Generator,
+        *,
+        max_processing: float = 10.0,
+        density: float = 1.0,
+        weighted: bool = True,
+    ) -> "OpenShopInstance":
+        """A random instance used by tests and the hardness example."""
+        if not 0 < density <= 1:
+            raise ValueError("density must lie in (0, 1]")
+        processing = rng.uniform(1.0, max_processing, size=(num_machines, num_jobs))
+        if density < 1.0:
+            mask = rng.uniform(size=processing.shape) < density
+            processing = processing * mask
+        # Guarantee every job has some work.
+        for j in range(num_jobs):
+            if processing[:, j].sum() <= 0:
+                processing[rng.integers(num_machines), j] = rng.uniform(
+                    1.0, max_processing
+                )
+        weights = (
+            rng.uniform(1.0, 10.0, size=num_jobs) if weighted else np.ones(num_jobs)
+        )
+        return cls(processing=processing, weights=weights)

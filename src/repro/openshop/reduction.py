@@ -1,0 +1,113 @@
+"""The reduction of the paper's Section 5 between concurrent open shop and
+coflow scheduling on disjoint unit edges.
+
+Forward direction (used by tests and the hardness example): machine *i*
+becomes a unit-capacity edge ``x_i -> y_i``; job *j* becomes a coflow with
+one flow of demand ``p[i][j]`` on every machine edge it needs.  Completion
+times (and therefore the objective) transfer exactly in both directions
+(Theorem 5.1), so optima and LP lower bounds computed on one side validate
+algorithms on the other.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.topologies import parallel_edges_topology
+from repro.openshop.instance import OpenShopInstance
+from repro.schedule.schedule import Schedule
+
+
+def openshop_to_coflow_instance(
+    shop: OpenShopInstance,
+    *,
+    model: TransmissionModel | str = TransmissionModel.SINGLE_PATH,
+) -> CoflowInstance:
+    """Build the coflow instance of the Section 5 reduction.
+
+    Machine *i* maps to the unit-capacity edge ``x{i+1} -> y{i+1}``; job *j*
+    maps to a coflow whose flows carry the job's positive processing demands.
+    Because each edge is an isolated component, the single path and free path
+    models coincide on the constructed instance (as the proof notes); the
+    *model* parameter only decides which constraint family the LP will use.
+    """
+    graph = parallel_edges_topology(shop.num_machines, capacity=1.0)
+    coflows = []
+    for j in range(shop.num_jobs):
+        flows = []
+        for i in range(shop.num_machines):
+            demand = float(shop.processing[i, j])
+            if demand <= 0:
+                continue
+            source, sink = f"x{i + 1}", f"y{i + 1}"
+            flows.append(
+                Flow(
+                    source=source,
+                    sink=sink,
+                    demand=demand,
+                    path=(source, sink),
+                    release_time=float(shop.release_times[j]),
+                    name=f"job{j}-machine{i}",
+                )
+            )
+        coflows.append(
+            Coflow(
+                flows=tuple(flows),
+                weight=float(shop.weights[j]),
+                release_time=float(shop.release_times[j]),
+                name=f"job{j}",
+            )
+        )
+    return CoflowInstance(
+        graph,
+        coflows,
+        model=model,
+        name=f"{shop.name}-as-coflows",
+    )
+
+
+def coflow_schedule_to_openshop_times(
+    shop: OpenShopInstance, schedule: Schedule
+) -> np.ndarray:
+    """Translate a coflow schedule of the reduced instance back to job completion times.
+
+    The proof of Theorem 5.1 maps a (possibly fractional, preemptive) coflow
+    schedule to a concurrent open shop schedule with the same completion
+    times, then shows these can only improve when made non-preemptive.  For
+    validation purposes the fractional completion times themselves are what
+    we compare, so this simply returns the coflow completion times in job
+    order.
+    """
+    instance = schedule.instance
+    if instance.num_coflows != shop.num_jobs:
+        raise ValueError(
+            "schedule does not belong to the reduction of this open shop instance"
+        )
+    return schedule.coflow_completion_times()
+
+
+def openshop_objective_bounds(
+    shop: OpenShopInstance,
+) -> Tuple[float, float]:
+    """Cheap lower and upper bounds on the optimal weighted completion time.
+
+    Lower bound: every job finishes no earlier than its largest single
+    machine demand (plus release).  Upper bound: schedule jobs one after the
+    other in weighted-shortest-processing-time order.  Used to sanity-check
+    LP bounds in tests.
+    """
+    per_job_max = shop.processing.max(axis=0)
+    lower = float(np.dot(shop.weights, shop.release_times + per_job_max))
+    # Upper bound via an arbitrary permutation (WSPT by total work).
+    total_work = shop.processing.sum(axis=0)
+    order = sorted(
+        range(shop.num_jobs), key=lambda j: total_work[j] / shop.weights[j]
+    )
+    completion = shop.completion_times_for_order(order)
+    upper = shop.weighted_completion_time(completion)
+    return lower, upper

@@ -1,0 +1,95 @@
+"""Reference schedulers for concurrent open shop.
+
+Used by the test suite to obtain independent optima / strong feasible
+solutions that the coflow algorithms are compared against through the
+Section 5 reduction.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.lp.solver import solve_lp
+from repro.openshop.instance import OpenShopInstance
+
+
+def wspt_order(shop: OpenShopInstance) -> List[int]:
+    """Weighted-shortest-processing-time order by *total* work.
+
+    A classic 2-approximation ordering rule for concurrent open shop without
+    release times (jobs sorted by total processing / weight).
+    """
+    total = shop.processing.sum(axis=0)
+    return sorted(range(shop.num_jobs), key=lambda j: (total[j] / shop.weights[j], j))
+
+
+def list_schedule(
+    shop: OpenShopInstance, order: Sequence[int]
+) -> Tuple[np.ndarray, float]:
+    """Completion times and objective of the permutation schedule for *order*."""
+    completion = shop.completion_times_for_order(order)
+    return completion, shop.weighted_completion_time(completion)
+
+
+def lp_order_schedule(shop: OpenShopInstance) -> Tuple[np.ndarray, float]:
+    """Order jobs by the completion-time variables of a relaxation LP.
+
+    Solves the standard completion-time LP with machine-load constraints
+    over job subsets restricted to prefixes (a light-weight relaxation that
+    is cheap and yields a good ordering), then list-schedules in
+    non-decreasing LP completion time.  This mirrors the primal-dual /
+    LP-ordering approach of Ahmadi et al. referenced in the paper's related
+    work.
+    """
+    m, n = shop.num_machines, shop.num_jobs
+    lp = LinearProgram(name="openshop-order")
+    c_block = lp.add_variables("C", n, lower=0.0)
+    c_idx = c_block.indices()
+    lp.set_objective(c_idx, shop.weights)
+    # C_j >= r_j + p_ij for every machine.
+    for j in range(n):
+        lower = float(shop.release_times[j] + shop.processing[:, j].max())
+        lp.set_bounds(int(c_idx[j]), lower, None)
+    # Parallel-inequalities on every machine for the full job set and for
+    # every job individually (a tractable subset of the exponential family):
+    # sum_j p_ij C_j >= 1/2 (sum_j p_ij^2 + (sum_j p_ij)^2).
+    for i in range(m):
+        p = shop.processing[i]
+        active = np.nonzero(p > 0)[0]
+        if active.size == 0:
+            continue
+        rhs = 0.5 * (float((p[active] ** 2).sum()) + float(p[active].sum()) ** 2)
+        lp.add_constraint(
+            c_idx[active], p[active], ConstraintSense.GREATER_EQUAL, rhs
+        )
+    result = solve_lp(lp, require_optimal=True)
+    lp_completion = result.values(c_idx)
+    order = sorted(range(n), key=lambda j: (lp_completion[j], j))
+    return shop.completion_times_for_order(order), shop.weighted_completion_time(
+        shop.completion_times_for_order(order)
+    )
+
+
+def brute_force_optimum(shop: OpenShopInstance) -> Tuple[np.ndarray, float]:
+    """Exact optimum by enumerating all permutation schedules.
+
+    Permutation schedules are optimal for concurrent open shop without
+    release times; with release times they remain a very strong upper bound.
+    Only usable for small instances (``n <= 9``).
+    """
+    if shop.num_jobs > 9:
+        raise ValueError("brute force is limited to at most 9 jobs")
+    best_value = float("inf")
+    best_completion: np.ndarray | None = None
+    for order in permutations(range(shop.num_jobs)):
+        completion = shop.completion_times_for_order(order)
+        value = shop.weighted_completion_time(completion)
+        if value < best_value - 1e-12:
+            best_value = value
+            best_completion = completion
+    assert best_completion is not None
+    return best_completion, best_value

@@ -1,0 +1,43 @@
+"""Schedule representation, feasibility checking, metrics and compaction.
+
+A :class:`~repro.schedule.schedule.Schedule` stores, for every flow and time
+slot, the fraction of the flow's demand transmitted in that slot (plus the
+per-edge split for the free path model).  The surrounding modules provide:
+
+* :class:`~repro.schedule.timegrid.TimeGrid` — uniform or geometric slot
+  boundaries (paper Section 3 and Appendix A);
+* :mod:`~repro.schedule.feasibility` — verification that a schedule satisfies
+  demand, release-time, capacity and flow-conservation constraints;
+* :mod:`~repro.schedule.metrics` — completion times and the weighted
+  completion-time objective;
+* :mod:`~repro.schedule.compaction` — the idle-slot compaction heuristic of
+  the paper's Section 6.1.
+"""
+
+from repro.schedule.timegrid import TimeGrid
+from repro.schedule.schedule import Schedule
+from repro.schedule.feasibility import FeasibilityReport, check_feasibility
+from repro.schedule.metrics import (
+    coflow_completion_times,
+    flow_completion_times,
+    makespan,
+    total_completion_time,
+    weighted_completion_time,
+)
+from repro.schedule.compaction import compact_schedule
+from repro.schedule.gantt import render_completion_summary, render_gantt
+
+__all__ = [
+    "render_gantt",
+    "render_completion_summary",
+    "TimeGrid",
+    "Schedule",
+    "FeasibilityReport",
+    "check_feasibility",
+    "flow_completion_times",
+    "coflow_completion_times",
+    "weighted_completion_time",
+    "total_completion_time",
+    "makespan",
+    "compact_schedule",
+]

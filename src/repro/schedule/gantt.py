@@ -1,0 +1,127 @@
+"""ASCII Gantt rendering of schedules.
+
+Quick, dependency-free visualisation of slotted schedules for examples,
+debugging and test failure messages: one row per flow (or per coflow), one
+character column per time slot, where the glyph encodes how much of the
+flow's demand is transmitted in that slot.
+
+Example output::
+
+    coflow   flow            |0         1         |
+    red      f0 (v1->t)      |#         .         |
+    blue     f0 (s->t)       |=======   .         |
+
+Glyphs: ``#`` for a full slot (fraction close to the per-slot maximum),
+``=`` / ``-`` / ``.`` for progressively smaller fractions, space for idle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.schedule.schedule import FRACTION_TOL, Schedule
+
+#: Glyphs from lowest positive intensity to highest.
+_GLYPHS = (".", "-", "=", "#")
+
+
+def _glyph(fraction: float, scale: float) -> str:
+    """Pick the glyph for a per-slot fraction relative to *scale*."""
+    if fraction <= FRACTION_TOL:
+        return " "
+    if scale <= FRACTION_TOL:
+        return _GLYPHS[0]
+    level = fraction / scale
+    if level < 0.25:
+        return _GLYPHS[0]
+    if level < 0.5:
+        return _GLYPHS[1]
+    if level < 0.9:
+        return _GLYPHS[2]
+    return _GLYPHS[3]
+
+
+def _time_ruler(num_slots: int, label_width: int) -> str:
+    """A header row marking every tenth slot index."""
+    cells = []
+    for t in range(num_slots):
+        if t % 10 == 0:
+            marker = str(t)
+            cells.append(marker[0])
+        else:
+            cells.append(" ")
+    return " " * label_width + "|" + "".join(cells) + "|"
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    per_coflow: bool = False,
+    max_slots: Optional[int] = 120,
+    tol: float = FRACTION_TOL,
+) -> str:
+    """Render *schedule* as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        Any schedule (single path or free path).
+    per_coflow:
+        Aggregate the rows of a coflow into one line (sum of its flows'
+        fractions per slot) instead of one line per flow.
+    max_slots:
+        Truncate the rendering after this many slots (``None`` = no limit);
+        a trailing ``>`` marks truncation.
+    tol:
+        Fractions at or below this value render as idle.
+    """
+    instance = schedule.instance
+    num_slots = schedule.num_slots
+    shown_slots = num_slots if max_slots is None else min(num_slots, max_slots)
+    truncated = shown_slots < num_slots
+
+    if per_coflow:
+        rows = np.zeros((instance.num_coflows, num_slots))
+        labels: List[str] = []
+        for j, coflow in enumerate(instance.coflows):
+            labels.append(coflow.name or f"C{j}")
+        for ref in instance.flow_refs():
+            rows[ref.coflow_index] += schedule.fractions[ref.global_index]
+        scales = np.maximum(rows.max(axis=1), tol)
+    else:
+        rows = schedule.fractions
+        labels = [ref.label for ref in instance.flow_refs()]
+        scales = np.maximum(rows.max(axis=1), tol)
+
+    label_width = max((len(label) for label in labels), default=5) + 2
+    lines = [_time_ruler(shown_slots, label_width)]
+    for label, row, scale in zip(labels, rows, scales):
+        glyphs = "".join(_glyph(float(row[t]), float(scale)) for t in range(shown_slots))
+        suffix = ">" if truncated else "|"
+        lines.append(label.ljust(label_width) + "|" + glyphs + suffix)
+    footer = (
+        f"slots shown: {shown_slots}/{num_slots}, slot length "
+        f"{schedule.grid.slot_duration(0):g}; glyphs . - = # from light to full"
+    )
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_completion_summary(schedule: Schedule, tol: float = FRACTION_TOL) -> str:
+    """One line per coflow: weight, completion time and contribution to the objective."""
+    instance = schedule.instance
+    times = schedule.coflow_completion_times(tol)
+    lines = []
+    width = max((len(c.name or f"C{j}") for j, c in enumerate(instance.coflows)), default=2)
+    for j, coflow in enumerate(instance.coflows):
+        name = coflow.name or f"C{j}"
+        lines.append(
+            f"{name.ljust(width)}  weight {coflow.weight:8.2f}  "
+            f"C_j = {times[j]:8.2f}  contribution {coflow.weight * times[j]:10.2f}"
+        )
+    lines.append(
+        f"total weighted completion time: {schedule.weighted_completion_time(tol):.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Completion-time metrics and schedule comparisons.
+
+Thin functional wrappers around :class:`~repro.schedule.schedule.Schedule`
+methods plus aggregate statistics used by the experiment reports (the
+paper's figures report the weighted — Figs. 6–10 — or unweighted —
+Figs. 11–12 — sum of coflow completion times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.schedule.schedule import FRACTION_TOL, Schedule
+
+
+def flow_completion_times(schedule: Schedule, tol: float = FRACTION_TOL) -> np.ndarray:
+    """Completion time of every flow (end of its last active slot)."""
+    return schedule.flow_completion_times(tol)
+
+
+def coflow_completion_times(
+    schedule: Schedule, tol: float = FRACTION_TOL
+) -> np.ndarray:
+    """Completion time of every coflow (max over its flows)."""
+    return schedule.coflow_completion_times(tol)
+
+
+def weighted_completion_time(schedule: Schedule, tol: float = FRACTION_TOL) -> float:
+    """The paper's objective ``sum_j w_j C_j``."""
+    return schedule.weighted_completion_time(tol)
+
+
+def total_completion_time(schedule: Schedule, tol: float = FRACTION_TOL) -> float:
+    """Unweighted sum of coflow completion times."""
+    return schedule.total_completion_time(tol)
+
+
+def makespan(schedule: Schedule, tol: float = FRACTION_TOL) -> float:
+    """Completion time of the last coflow."""
+    return schedule.makespan(tol)
+
+
+def average_slowdown(
+    schedule: Schedule, baseline_times: np.ndarray, tol: float = FRACTION_TOL
+) -> float:
+    """Mean ratio of coflow completion times to *baseline_times*.
+
+    Used in examples to express how much a shared schedule delays each coflow
+    relative to running it alone on the network.
+    """
+    times = schedule.coflow_completion_times(tol)
+    baseline = np.asarray(baseline_times, dtype=float)
+    if baseline.shape != times.shape:
+        raise ValueError("baseline_times must have one entry per coflow")
+    if np.any(baseline <= 0):
+        raise ValueError("baseline times must be strictly positive")
+    return float(np.mean(times / baseline))
+
+
+@dataclass
+class ScheduleStats:
+    """Aggregate statistics of a schedule for experiment reports."""
+
+    weighted_completion_time: float
+    total_completion_time: float
+    makespan: float
+    mean_completion_time: float
+    median_completion_time: float
+    p95_completion_time: float
+    num_coflows: int
+    num_flows: int
+    num_slots: int
+    mean_edge_utilization: float
+    peak_edge_utilization: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "weighted_completion_time": self.weighted_completion_time,
+            "total_completion_time": self.total_completion_time,
+            "makespan": self.makespan,
+            "mean_completion_time": self.mean_completion_time,
+            "median_completion_time": self.median_completion_time,
+            "p95_completion_time": self.p95_completion_time,
+            "num_coflows": self.num_coflows,
+            "num_flows": self.num_flows,
+            "num_slots": self.num_slots,
+            "mean_edge_utilization": self.mean_edge_utilization,
+            "peak_edge_utilization": self.peak_edge_utilization,
+        }
+
+
+def schedule_stats(schedule: Schedule, tol: float = FRACTION_TOL) -> ScheduleStats:
+    """Collect the standard statistics for a schedule."""
+    times = schedule.coflow_completion_times(tol)
+    utilization = schedule.edge_utilization()
+    active = schedule.active_slots(tol)
+    if active.any():
+        active_util = utilization[active]
+        mean_util = float(np.nanmean(active_util))
+        peak_util = float(np.nanmax(active_util))
+    else:
+        mean_util = 0.0
+        peak_util = 0.0
+    return ScheduleStats(
+        weighted_completion_time=schedule.weighted_completion_time(tol),
+        total_completion_time=schedule.total_completion_time(tol),
+        makespan=schedule.makespan(tol),
+        mean_completion_time=float(times.mean()) if times.size else 0.0,
+        median_completion_time=float(np.median(times)) if times.size else 0.0,
+        p95_completion_time=float(np.percentile(times, 95)) if times.size else 0.0,
+        num_coflows=schedule.instance.num_coflows,
+        num_flows=schedule.instance.num_flows,
+        num_slots=schedule.num_slots,
+        mean_edge_utilization=mean_util,
+        peak_edge_utilization=peak_util,
+    )
+
+
+def compare_to_lower_bound(
+    objective_value: float, lower_bound: float
+) -> float:
+    """Ratio of an algorithm's objective to an LP lower bound (>= 1 - tol).
+
+    Returns ``inf`` when the lower bound is zero (degenerate instances).
+    """
+    if lower_bound <= 0:
+        return float("inf")
+    return float(objective_value / lower_bound)
+
+
+def completion_time_from_weighted(
+    weighted_times: Dict[str, float], reference: Optional[str] = None
+) -> Dict[str, float]:
+    """Normalize a dict of algorithm -> objective by a reference entry.
+
+    Handy for producing the "ratio to LP lower bound" rows of the experiment
+    reports.  When *reference* is omitted the smallest value is used.
+    """
+    if not weighted_times:
+        return {}
+    if reference is None:
+        reference = min(weighted_times, key=weighted_times.get)  # type: ignore[arg-type]
+    base = weighted_times[reference]
+    if base <= 0:
+        raise ValueError(f"reference objective {reference!r} must be positive")
+    return {name: value / base for name, value in weighted_times.items()}

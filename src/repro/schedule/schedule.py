@@ -1,0 +1,230 @@
+"""The schedule object produced by every algorithm in the library."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.schedule.timegrid import TimeGrid
+
+#: Numerical tolerance used when deciding whether a fraction is "positive".
+FRACTION_TOL = 1e-9
+
+
+class Schedule:
+    """Per-slot transmission fractions for every flow of an instance.
+
+    Attributes
+    ----------
+    instance:
+        The scheduling instance this schedule belongs to.
+    grid:
+        The time grid the schedule is expressed on.
+    fractions:
+        Array of shape ``(num_flows, num_slots)``; entry ``[f, t]`` is the
+        fraction of flow *f*'s demand transmitted during slot *t* (the LP
+        variable ``x_j^i(t)``).  Rows of a complete schedule sum to 1.
+    edge_fractions:
+        Only for the free path model: array of shape
+        ``(num_flows, num_slots, num_edges)`` holding the per-edge split
+        ``x_j^i(t, e)``.  For the single path model this is ``None`` (the
+        split is implied by the pinned paths).
+    """
+
+    def __init__(
+        self,
+        instance: CoflowInstance,
+        grid: TimeGrid,
+        fractions: np.ndarray,
+        edge_fractions: Optional[np.ndarray] = None,
+        *,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        fractions = np.asarray(fractions, dtype=float)
+        expected = (instance.num_flows, grid.num_slots)
+        if fractions.shape != expected:
+            raise ValueError(
+                f"fractions must have shape {expected}, got {fractions.shape}"
+            )
+        if edge_fractions is not None:
+            edge_fractions = np.asarray(edge_fractions, dtype=float)
+            expected_e = (
+                instance.num_flows,
+                grid.num_slots,
+                instance.graph.num_edges,
+            )
+            if edge_fractions.shape != expected_e:
+                raise ValueError(
+                    f"edge_fractions must have shape {expected_e}, "
+                    f"got {edge_fractions.shape}"
+                )
+        self.instance = instance
+        self.grid = grid
+        self.fractions = fractions
+        self.edge_fractions = edge_fractions
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, instance: CoflowInstance, grid: TimeGrid) -> "Schedule":
+        """An all-zero schedule (nothing transmitted)."""
+        fractions = np.zeros((instance.num_flows, grid.num_slots), dtype=float)
+        edge_fractions = None
+        if instance.model is TransmissionModel.FREE_PATH:
+            edge_fractions = np.zeros(
+                (instance.num_flows, grid.num_slots, instance.graph.num_edges),
+                dtype=float,
+            )
+        return cls(instance, grid, fractions, edge_fractions)
+
+    def copy(self) -> "Schedule":
+        """Deep copy (fraction arrays are copied)."""
+        return Schedule(
+            self.instance,
+            self.grid,
+            self.fractions.copy(),
+            None if self.edge_fractions is None else self.edge_fractions.copy(),
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_flows(self) -> int:
+        return self.fractions.shape[0]
+
+    @property
+    def num_slots(self) -> int:
+        return self.fractions.shape[1]
+
+    @property
+    def has_edge_fractions(self) -> bool:
+        return self.edge_fractions is not None
+
+    def total_fractions(self) -> np.ndarray:
+        """Per-flow sum of scheduled fractions (1.0 for a complete schedule)."""
+        return self.fractions.sum(axis=1)
+
+    def cumulative_fractions(self) -> np.ndarray:
+        """Per-flow cumulative fraction by the end of each slot.
+
+        Shape ``(num_flows, num_slots)``; the LP's ``sum_{l<=t} x_j^i(l)``.
+        """
+        return np.cumsum(self.fractions, axis=1)
+
+    def is_complete(self, tol: float = 1e-6) -> bool:
+        """Whether every flow has (numerically) shipped its full demand."""
+        return bool(np.all(self.total_fractions() >= 1.0 - tol))
+
+    # ------------------------------------------------------------------ #
+    # completion times
+    # ------------------------------------------------------------------ #
+    def flow_completion_slots(self, tol: float = FRACTION_TOL) -> np.ndarray:
+        """0-based index of the last slot in which each flow transmits.
+
+        Flows that never transmit get ``-1``.  This mirrors the paper's
+        Eq. (12): the true completion time of a flow under an LP schedule is
+        the last slot with a positive fraction.
+        """
+        positive = self.fractions > tol
+        has_any = positive.any(axis=1)
+        # argmax on the reversed axis finds the last positive slot.
+        last = self.num_slots - 1 - np.argmax(positive[:, ::-1], axis=1)
+        return np.where(has_any, last, -1)
+
+    def flow_completion_times(self, tol: float = FRACTION_TOL) -> np.ndarray:
+        """Completion time of each flow = end boundary of its last active slot.
+
+        Flows that never transmit get 0.0 (they are vacuously complete only
+        if their demand is zero, which the data model forbids — feasibility
+        checking reports such flows as incomplete).
+        """
+        slots = self.flow_completion_slots(tol)
+        ends = self.grid.boundaries[1:]
+        times = np.where(slots >= 0, ends[np.clip(slots, 0, None)], 0.0)
+        return times.astype(float)
+
+    def coflow_completion_times(self, tol: float = FRACTION_TOL) -> np.ndarray:
+        """Completion time of each coflow = max over its flows (paper Section 2)."""
+        flow_times = self.flow_completion_times(tol)
+        coflow_idx = self.instance.coflow_of_flow()
+        times = np.zeros(self.instance.num_coflows, dtype=float)
+        np.maximum.at(times, coflow_idx, flow_times)
+        return times
+
+    def weighted_completion_time(self, tol: float = FRACTION_TOL) -> float:
+        """The objective ``sum_j w_j C_j`` of this schedule."""
+        return float(
+            np.dot(self.instance.weights, self.coflow_completion_times(tol))
+        )
+
+    def total_completion_time(self, tol: float = FRACTION_TOL) -> float:
+        """Unweighted sum of coflow completion times (Figs. 11–12 metric)."""
+        return float(self.coflow_completion_times(tol).sum())
+
+    def makespan(self, tol: float = FRACTION_TOL) -> float:
+        """Completion time of the last coflow."""
+        times = self.coflow_completion_times(tol)
+        return float(times.max()) if times.size else 0.0
+
+    # ------------------------------------------------------------------ #
+    # edge utilisation
+    # ------------------------------------------------------------------ #
+    def edge_load(self) -> np.ndarray:
+        """Data volume crossing each edge in each slot.
+
+        Returns an array of shape ``(num_slots, num_edges)``.  For the single
+        path model the load is derived from the pinned paths; for the free
+        path model it comes from the per-edge fractions.
+        """
+        graph = self.instance.graph
+        num_edges = graph.num_edges
+        demands = self.instance.demands()
+        load = np.zeros((self.num_slots, num_edges), dtype=float)
+        if self.edge_fractions is not None:
+            # volume[f, t, e] = fraction on edge * demand of flow
+            load = np.einsum("fte,f->te", self.edge_fractions, demands)
+            return load
+        edge_index = graph.edge_index()
+        for ref in self.instance.flow_refs():
+            flow = ref.flow
+            if not flow.has_path:
+                raise ValueError(
+                    f"flow {ref.label} has no pinned path and the schedule has "
+                    "no edge fractions; cannot compute edge load"
+                )
+            volumes = self.fractions[ref.global_index] * flow.demand
+            for edge in flow.path_edges():
+                load[:, edge_index[edge]] += volumes
+        return load
+
+    def edge_utilization(self) -> np.ndarray:
+        """Per-slot, per-edge utilisation in [0, 1+] relative to capacity x duration."""
+        load = self.edge_load()
+        caps = self.instance.graph.capacity_vector().reshape(1, -1)
+        durations = self.grid.durations.reshape(-1, 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return load / (caps * durations)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def active_slots(self, tol: float = FRACTION_TOL) -> np.ndarray:
+        """Boolean mask of slots in which any flow transmits."""
+        return (self.fractions > tol).any(axis=0)
+
+    def idle_slots(self, tol: float = FRACTION_TOL) -> np.ndarray:
+        """0-based indices of completely idle slots."""
+        return np.nonzero(~self.active_slots(tol))[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(instance={self.instance.name!r}, "
+            f"flows={self.num_flows}, slots={self.num_slots}, "
+            f"complete={self.is_complete()})"
+        )

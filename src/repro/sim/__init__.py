@@ -1,0 +1,34 @@
+"""Continuous-time, flow-level network simulator.
+
+The paper's baselines (Terra's offline SRTF algorithm, and simple greedy
+heuristics) do not work with a slotted LP schedule: they repeatedly allocate
+*rates* to flows and advance continuous time to the next completion or
+release event.  This package provides that substrate:
+
+* :mod:`repro.sim.rate_allocation` — priority-ordered rate allocation for
+  both transmission models (per-path bottleneck sharing for the single path
+  model, max-concurrent-flow LPs on residual capacity for the free path
+  model);
+* :mod:`repro.sim.simulator` — the event loop: release events, completion
+  events, per-event re-allocation, and the resulting completion times.
+"""
+
+from repro.sim.rate_allocation import (
+    RateAllocation,
+    allocate_rates,
+    coflow_standalone_time,
+)
+from repro.sim.simulator import (
+    FlowState,
+    SimulationResult,
+    simulate_priority_schedule,
+)
+
+__all__ = [
+    "RateAllocation",
+    "allocate_rates",
+    "coflow_standalone_time",
+    "FlowState",
+    "SimulationResult",
+    "simulate_priority_schedule",
+]

@@ -1,0 +1,298 @@
+"""Rate allocation primitives for the continuous-time simulator.
+
+Two questions are answered here:
+
+1. *How fast can a single coflow finish on a given (residual) network?*
+   (:func:`coflow_standalone_time`, :func:`max_concurrent_rate`) — this is
+   the quantity Terra computes per coflow before ordering them by SRTF.
+2. *Given a priority order over coflows, what rate does every flow get right
+   now?* (:func:`allocate_rates`) — coflows are served greedily in priority
+   order, each receiving the rates that let it finish as early as possible on
+   the capacity left over by higher-priority coflows.  This mirrors how
+   Varys/Terra-style schedulers turn an ordering into a work-conserving rate
+   assignment.
+
+For the single path model the per-coflow allocation has a closed form (the
+coflow's flows progress proportionally to their remaining demand, limited by
+the most congested edge).  For the free path model it is a small LP: maximise
+the common progress rate ``alpha`` such that shipping ``alpha * remaining_f``
+per unit time is a feasible multicommodity flow in the residual network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance, FlowRef, TransmissionModel
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.lp.solver import solve_lp
+
+#: Rates below this threshold are treated as zero.
+RATE_TOL = 1e-9
+
+
+@dataclass
+class RateAllocation:
+    """Result of one allocation round.
+
+    Attributes
+    ----------
+    rates:
+        Rate (demand units per unit time) assigned to each flow, indexed by
+        global flow index.  Flows not in the active set get 0.
+    edge_rates:
+        Optional per-flow, per-edge rates for the free path model, shape
+        ``(num_flows, num_edges)``; used to verify capacity feasibility.
+    residual_capacity:
+        Capacity left unused on every edge after the allocation.
+    """
+
+    rates: np.ndarray
+    edge_rates: Optional[np.ndarray]
+    residual_capacity: np.ndarray
+
+
+def _path_edge_indices(instance: CoflowInstance, ref: FlowRef) -> List[int]:
+    edge_index = instance.graph.edge_index()
+    return [edge_index[e] for e in ref.flow.path_edges()]
+
+
+def single_path_coflow_rates(
+    instance: CoflowInstance,
+    flow_refs: Sequence[FlowRef],
+    remaining: np.ndarray,
+    residual: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fastest-completion rates for one coflow's flows along pinned paths.
+
+    All flows of the coflow progress proportionally to their remaining
+    demand: flow *f* gets rate ``alpha * remaining_f`` with the largest
+    ``alpha`` such that no edge of the residual network is overloaded.
+
+    Returns ``(rates_by_global_index, edge_usage)`` where ``edge_usage`` has
+    one entry per edge.
+    """
+    num_edges = instance.graph.num_edges
+    usage_per_alpha = np.zeros(num_edges, dtype=float)
+    for ref in flow_refs:
+        rem = remaining[ref.global_index]
+        if rem <= RATE_TOL:
+            continue
+        for e in _path_edge_indices(instance, ref):
+            usage_per_alpha[e] += rem
+    rates = np.zeros(instance.num_flows, dtype=float)
+    edge_usage = np.zeros(num_edges, dtype=float)
+    loaded = usage_per_alpha > RATE_TOL
+    if not loaded.any():
+        return rates, edge_usage
+    with np.errstate(divide="ignore"):
+        alpha = float(np.min(residual[loaded] / usage_per_alpha[loaded]))
+    alpha = max(alpha, 0.0)
+    if alpha <= RATE_TOL:
+        return rates, edge_usage
+    for ref in flow_refs:
+        rem = remaining[ref.global_index]
+        if rem <= RATE_TOL:
+            continue
+        rate = alpha * rem
+        rates[ref.global_index] = rate
+        for e in _path_edge_indices(instance, ref):
+            edge_usage[e] += rate
+    return rates, edge_usage
+
+
+def free_path_coflow_rates(
+    instance: CoflowInstance,
+    flow_refs: Sequence[FlowRef],
+    remaining: np.ndarray,
+    residual: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fastest-completion rates for one coflow in the free path model.
+
+    Solves the max-concurrent-flow LP: maximise ``alpha`` such that routing
+    ``alpha * remaining_f`` units per unit time for every unfinished flow *f*
+    of the coflow is a feasible multicommodity flow within the residual
+    capacities.
+
+    Returns ``(rates, per_flow_edge_rates, edge_usage)``.
+    """
+    graph = instance.graph
+    num_edges = graph.num_edges
+    active = [r for r in flow_refs if remaining[r.global_index] > RATE_TOL]
+    rates = np.zeros(instance.num_flows, dtype=float)
+    flow_edge_rates = np.zeros((instance.num_flows, num_edges), dtype=float)
+    edge_usage = np.zeros(num_edges, dtype=float)
+    if not active:
+        return rates, flow_edge_rates, edge_usage
+
+    lp = LinearProgram(name="max-concurrent-flow")
+    alpha_block = lp.add_variables("alpha", 1, lower=0.0)
+    alpha_idx = int(alpha_block.indices()[0])
+    y_block = lp.add_variables("y", len(active) * num_edges, lower=0.0)
+    y_idx = y_block.reshape(len(active), num_edges)
+    # Maximise alpha == minimise -alpha.
+    lp.set_objective_coefficient(alpha_idx, -1.0)
+
+    edge_index = graph.edge_index()
+    nodes = graph.nodes
+    out_edges = {n: [edge_index[e] for e in graph.out_edges(n)] for n in nodes}
+    in_edges = {n: [edge_index[e] for e in graph.in_edges(n)] for n in nodes}
+
+    for a, ref in enumerate(active):
+        src, dst = ref.flow.source, ref.flow.sink
+        rem = float(remaining[ref.global_index])
+        # No circulation through the endpoints (same convention as the LP
+        # builder in repro.core.timeindexed).
+        for e in in_edges[src]:
+            lp.fix_variable(int(y_idx[a, e]), 0.0)
+        for e in out_edges[dst]:
+            lp.fix_variable(int(y_idx[a, e]), 0.0)
+        src_out = out_edges[src]
+        dst_in = in_edges[dst]
+        # sum_out(src) y = alpha * remaining
+        lp.add_constraint(
+            list(y_idx[a, src_out]) + [alpha_idx],
+            [1.0] * len(src_out) + [-rem],
+            ConstraintSense.EQUAL,
+            0.0,
+        )
+        lp.add_constraint(
+            list(y_idx[a, dst_in]) + [alpha_idx],
+            [1.0] * len(dst_in) + [-rem],
+            ConstraintSense.EQUAL,
+            0.0,
+        )
+        for node in nodes:
+            if node in (src, dst):
+                continue
+            node_in = in_edges[node]
+            node_out = out_edges[node]
+            if not node_in and not node_out:
+                continue
+            lp.add_constraint(
+                list(y_idx[a, node_in]) + list(y_idx[a, node_out]),
+                [1.0] * len(node_in) + [-1.0] * len(node_out),
+                ConstraintSense.EQUAL,
+                0.0,
+            )
+    # Residual capacity constraints.
+    for e in range(num_edges):
+        lp.add_constraint(
+            y_idx[:, e],
+            np.ones(len(active)),
+            ConstraintSense.LESS_EQUAL,
+            float(max(residual[e], 0.0)),
+        )
+
+    result = solve_lp(lp, require_optimal=True)
+    alpha = result.value(alpha_idx)
+    if alpha <= RATE_TOL:
+        return rates, flow_edge_rates, edge_usage
+    y_values = result.values(y_idx)
+    for a, ref in enumerate(active):
+        rem = float(remaining[ref.global_index])
+        rates[ref.global_index] = alpha * rem
+        flow_edge_rates[ref.global_index] = y_values[a]
+        edge_usage += y_values[a]
+    return rates, flow_edge_rates, edge_usage
+
+
+def allocate_rates(
+    instance: CoflowInstance,
+    remaining: np.ndarray,
+    coflow_priority: Sequence[int],
+    *,
+    active_coflows: Optional[Sequence[int]] = None,
+) -> RateAllocation:
+    """Greedy, priority-ordered rate allocation (one simulator round).
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance (model decides the allocation primitive).
+    remaining:
+        Remaining demand of every flow (global flow index).
+    coflow_priority:
+        Coflow indices from highest to lowest priority.
+    active_coflows:
+        Coflows currently allowed to transmit (released and unfinished);
+        defaults to every coflow in *coflow_priority*.
+    """
+    graph = instance.graph
+    residual = graph.capacity_vector()
+    rates = np.zeros(instance.num_flows, dtype=float)
+    edge_rates = (
+        np.zeros((instance.num_flows, graph.num_edges), dtype=float)
+        if instance.model is TransmissionModel.FREE_PATH
+        else None
+    )
+    active_set = set(active_coflows if active_coflows is not None else coflow_priority)
+
+    flows_by_coflow: Dict[int, List[FlowRef]] = {}
+    for ref in instance.flow_refs():
+        flows_by_coflow.setdefault(ref.coflow_index, []).append(ref)
+
+    for j in coflow_priority:
+        if j not in active_set:
+            continue
+        refs = flows_by_coflow.get(j, [])
+        if not refs:
+            continue
+        if instance.model is TransmissionModel.FREE_PATH:
+            coflow_rates, coflow_edge_rates, usage = free_path_coflow_rates(
+                instance, refs, remaining, residual
+            )
+            if edge_rates is not None:
+                edge_rates += coflow_edge_rates
+        else:
+            coflow_rates, usage = single_path_coflow_rates(
+                instance, refs, remaining, residual
+            )
+        rates += coflow_rates
+        residual = np.clip(residual - usage, 0.0, None)
+    return RateAllocation(rates=rates, edge_rates=edge_rates, residual_capacity=residual)
+
+
+def max_concurrent_rate(
+    instance: CoflowInstance, coflow_index: int, remaining: Optional[np.ndarray] = None
+) -> float:
+    """Largest ``alpha`` such that the coflow can ship ``alpha`` of its remaining
+    demand per unit time when it has the whole network to itself."""
+    if remaining is None:
+        remaining = instance.demands()
+    refs = instance.flows_of(coflow_index)
+    residual = instance.graph.capacity_vector()
+    if instance.model is TransmissionModel.FREE_PATH:
+        rates, _, _ = free_path_coflow_rates(instance, refs, remaining, residual)
+    else:
+        rates, _ = single_path_coflow_rates(instance, refs, remaining, residual)
+    alphas = [
+        rates[r.global_index] / remaining[r.global_index]
+        for r in refs
+        if remaining[r.global_index] > RATE_TOL
+    ]
+    if not alphas:
+        return float("inf")
+    return float(min(alphas))
+
+
+def coflow_standalone_time(
+    instance: CoflowInstance, coflow_index: int, remaining: Optional[np.ndarray] = None
+) -> float:
+    """Minimum time for the coflow to finish alone on the empty network.
+
+    This is Terra's per-coflow completion-time estimate: the reciprocal of
+    the maximum concurrent rate.  Returns 0 when the coflow has no remaining
+    demand.
+    """
+    alpha = max_concurrent_rate(instance, coflow_index, remaining)
+    if alpha == float("inf"):
+        return 0.0
+    if alpha <= RATE_TOL:
+        raise ValueError(
+            f"coflow {coflow_index} cannot make progress on the network"
+        )
+    return 1.0 / alpha

@@ -1,0 +1,29 @@
+"""Shared utilities for the coflow-scheduling reproduction.
+
+This package holds small, dependency-free helpers used throughout the
+library: seeded random-number management (:mod:`repro.utils.rng`),
+wall-clock timing (:mod:`repro.utils.timing`), and argument validation
+(:mod:`repro.utils.validation`).
+"""
+
+from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "spawn_rng",
+    "Stopwatch",
+    "timed",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,104 @@
+"""Seeded random-number management.
+
+Every stochastic component of the library (workload generators, the
+``lambda`` sampling step of the Stretch algorithm, random path selection)
+accepts either an integer seed or a :class:`numpy.random.Generator`.  This
+module centralizes the conversion so that experiments are reproducible
+bit-for-bit and independent components can draw from statistically
+independent streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+#: Anything accepted as a source of randomness by public APIs.
+RandomSource = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(source: RandomSource = None) -> np.random.Generator:
+    """Coerce *source* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    source:
+        ``None`` (fresh nondeterministic generator), an integer seed, a
+        :class:`numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+        A PCG64-backed generator.
+    """
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, np.random.SeedSequence):
+        return np.random.default_rng(source)
+    return np.random.default_rng(source)
+
+
+def spawn_rng(source: RandomSource, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent generators from a single source.
+
+    Uses :class:`numpy.random.SeedSequence` spawning so the children are
+    statistically independent regardless of how many values are drawn from
+    each.
+
+    Parameters
+    ----------
+    source:
+        Seed, sequence or generator to derive from.
+    count:
+        Number of child generators to create.  Must be positive.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if isinstance(source, np.random.SeedSequence):
+        seq = source
+    elif isinstance(source, np.random.Generator):
+        # Derive a seed sequence from the generator's own bit stream so the
+        # children are reproducible given the generator state.
+        seq = np.random.SeedSequence(int(source.integers(0, 2**63 - 1)))
+    else:
+        seq = np.random.SeedSequence(source)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def stream_seeds(source: RandomSource, count: int) -> list[int]:
+    """Return *count* reproducible integer seeds derived from *source*."""
+    rng = as_generator(source)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=count)]
+
+
+def iter_generators(source: RandomSource) -> Iterator[np.random.Generator]:
+    """Yield an endless stream of independent generators derived from *source*."""
+    if isinstance(source, np.random.SeedSequence):
+        seq = source
+    else:
+        rng = as_generator(source)
+        seq = np.random.SeedSequence(int(rng.integers(0, 2**63 - 1)))
+    while True:
+        (child,) = seq.spawn(1)
+        yield np.random.default_rng(child)
+
+
+def sample_lambda(rng: RandomSource = None, size: Optional[int] = None):
+    """Sample from the Stretch algorithm's stretching-factor distribution.
+
+    The paper (Section 4.1) draws ``lambda`` from the density
+    ``f(v) = 2 v`` on ``(0, 1)``.  Its CDF is ``F(v) = v**2``, so inverse
+    transform sampling gives ``lambda = sqrt(U)`` for ``U ~ Uniform(0, 1)``.
+
+    Parameters
+    ----------
+    rng:
+        Random source.
+    size:
+        ``None`` for a single float, otherwise an array of that length.
+    """
+    gen = as_generator(rng)
+    u = gen.uniform(0.0, 1.0, size=size)
+    return np.sqrt(u)

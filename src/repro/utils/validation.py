@@ -1,0 +1,77 @@
+"""Argument-validation helpers.
+
+These raise early, descriptive errors so that malformed instances are caught
+at construction time rather than deep inside LP assembly, where the failure
+mode would otherwise be an infeasible or unbounded solver status.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure *value* is strictly positive and finite."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Ensure *value* is non-negative and finite."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_finite(value: float, name: str) -> float:
+    """Ensure *value* is a finite real number."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(as_float) or math.isinf(as_float):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return as_float
+
+
+def check_probability(value: float, name: str) -> float:
+    """Ensure *value* lies in the closed interval [0, 1]."""
+    check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    low_open: bool = False,
+    high_open: bool = False,
+) -> float:
+    """Ensure *value* lies in the interval [low, high] (optionally open)."""
+    check_finite(value, name)
+    low_ok = value > low if low_open else value >= low
+    high_ok = value < high if high_open else value <= high
+    if not (low_ok and high_ok):
+        lo_b = "(" if low_open else "["
+        hi_b = ")" if high_open else "]"
+        raise ValueError(
+            f"{name} must lie in {lo_b}{low}, {high}{hi_b}, got {value!r}"
+        )
+    return float(value)
+
+
+def check_type(value: Any, name: str, expected: type) -> Any:
+    """Ensure *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be of type {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,151 @@
+"""Workload analysis: descriptive statistics and load estimation.
+
+The paper's evaluation reasons about workloads in terms of their *shape*
+(how wide coflows are, how heavy the size tail is, how loaded the network
+gets).  This module computes those statistics for any coflow collection so
+that experiment logs can document what was actually generated, and so tests
+can assert that the synthetic generators reproduce the intended shape
+(e.g. the FB profile is heavier-tailed than BigBench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.instance import CoflowInstance
+from repro.network.graph import NetworkGraph
+from repro.network.paths import shortest_path
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Descriptive statistics of a coflow collection."""
+
+    num_coflows: int
+    num_flows: int
+    total_demand: float
+    mean_coflow_width: float
+    max_coflow_width: int
+    mean_coflow_size: float
+    median_coflow_size: float
+    p95_coflow_size: float
+    max_coflow_size: float
+    size_coefficient_of_variation: float
+    mean_interarrival: float
+    max_release_time: float
+    weighted: bool
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_coflows": self.num_coflows,
+            "num_flows": self.num_flows,
+            "total_demand": self.total_demand,
+            "mean_coflow_width": self.mean_coflow_width,
+            "max_coflow_width": self.max_coflow_width,
+            "mean_coflow_size": self.mean_coflow_size,
+            "median_coflow_size": self.median_coflow_size,
+            "p95_coflow_size": self.p95_coflow_size,
+            "max_coflow_size": self.max_coflow_size,
+            "size_coefficient_of_variation": self.size_coefficient_of_variation,
+            "mean_interarrival": self.mean_interarrival,
+            "max_release_time": self.max_release_time,
+            "weighted": float(self.weighted),
+        }
+
+
+def workload_stats(coflows: Sequence[Coflow]) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a coflow collection."""
+    if not coflows:
+        raise ValueError("workload_stats requires at least one coflow")
+    widths = np.array([c.num_flows for c in coflows], dtype=float)
+    sizes = np.array([c.total_demand for c in coflows], dtype=float)
+    releases = np.sort(np.array([c.release_time for c in coflows], dtype=float))
+    interarrivals = np.diff(releases) if releases.size > 1 else np.array([0.0])
+    mean_size = float(sizes.mean())
+    cv = float(sizes.std() / mean_size) if mean_size > 0 else 0.0
+    return WorkloadStats(
+        num_coflows=len(coflows),
+        num_flows=int(widths.sum()),
+        total_demand=float(sizes.sum()),
+        mean_coflow_width=float(widths.mean()),
+        max_coflow_width=int(widths.max()),
+        mean_coflow_size=mean_size,
+        median_coflow_size=float(np.median(sizes)),
+        p95_coflow_size=float(np.percentile(sizes, 95)),
+        max_coflow_size=float(sizes.max()),
+        size_coefficient_of_variation=cv,
+        mean_interarrival=float(interarrivals.mean()),
+        max_release_time=float(releases.max()),
+        weighted=any(abs(c.weight - 1.0) > 1e-12 for c in coflows),
+    )
+
+
+def estimated_network_load(
+    instance: CoflowInstance, *, horizon: float | None = None
+) -> float:
+    """A rough offered-load factor: demand-hours over capacity-hours.
+
+    Every flow's demand is routed along one shortest path (just for the
+    estimate); the resulting per-edge volume is divided by the edge's
+    capacity times the horizon (the span from time 0 to the last release
+    plus the serial tail, unless given explicitly).  A value near or above 1
+    on some edge means that edge is saturated for most of the schedule —
+    the regime where scheduling discipline matters most.
+
+    Returns the *maximum* per-edge load factor.
+    """
+    graph = instance.graph
+    edge_index = graph.edge_index()
+    volume = np.zeros(graph.num_edges, dtype=float)
+    path_cache: Dict[tuple, tuple] = {}
+    for ref in instance.flow_refs():
+        flow = ref.flow
+        if flow.has_path:
+            path = tuple(flow.path)
+        else:
+            key = (flow.source, flow.sink)
+            if key not in path_cache:
+                path_cache[key] = shortest_path(graph, flow.source, flow.sink)
+            path = path_cache[key]
+        for edge in zip(path[:-1], path[1:]):
+            volume[edge_index[edge]] += flow.demand
+    if horizon is None:
+        capacities = graph.capacity_vector()
+        # Rough horizon: last release plus the time to drain the most loaded
+        # edge at full rate.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            drain = np.where(capacities > 0, volume / capacities, 0.0)
+        horizon = float(instance.max_release_time() + drain.max(initial=0.0))
+    if horizon <= 0:
+        return float("inf")
+    capacities = graph.capacity_vector()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        load = np.where(capacities > 0, volume / (capacities * horizon), 0.0)
+    return float(load.max(initial=0.0))
+
+
+def compare_profiles(
+    stats_by_name: Dict[str, WorkloadStats]
+) -> Dict[str, Dict[str, float]]:
+    """Normalise a set of workload statistics for side-by-side comparison.
+
+    Each metric is divided by its maximum across the provided workloads, so
+    a value of 1.0 marks the workload that dominates that dimension — handy
+    in experiment logs for eyeballing whether e.g. FB really has the
+    heaviest size tail.
+    """
+    if not stats_by_name:
+        return {}
+    metrics = ("mean_coflow_size", "p95_coflow_size", "size_coefficient_of_variation",
+               "mean_coflow_width", "total_demand")
+    maxima = {
+        m: max(getattr(s, m) for s in stats_by_name.values()) or 1.0 for m in metrics
+    }
+    return {
+        name: {m: getattr(s, m) / maxima[m] for m in metrics}
+        for name, s in stats_by_name.items()
+    }

@@ -1,0 +1,138 @@
+"""Statistical profiles of the paper's four workloads.
+
+Each profile captures the shape of one benchmark's coflow population:
+
+* ``width_range`` — how many flows a coflow contains (log-uniform between
+  the bounds).  MapReduce-style shuffles in the Facebook trace are mostly
+  narrow with a wide tail; decision-support benchmarks (TPC-DS/H, BigBench)
+  produce wider, more regular shuffles.
+* ``demand_log_mean`` / ``demand_log_sigma`` — per-flow transfer sizes are
+  log-normal.  Sizes are expressed relative to a unit-capacity link and one
+  unit time slot, i.e. a demand of 4.0 keeps a unit link busy for 4 slots.
+  The Facebook trace is famously heavy tailed (most coflows tiny, a few
+  enormous); TPC-H shuffles are fewer but larger; TPC-DS and BigBench sit in
+  between.
+* ``arrival_rate`` — coflows arrive according to a Poisson process with this
+  expected number of arrivals per time slot (the paper assigns release times
+  "similar to that in production traces").
+* ``weight_range`` — priorities drawn uniformly from this interval, exactly
+  as in the paper ("weights uniformly chosen from the interval between 1.0
+  and 100.0").
+
+The numbers are synthetic stand-ins for the real traces (which are not
+redistributable); what the experiments rely on is the *relative* shape:
+FB = narrow + heavy tail + bursty arrivals, TPC-H = wide + large,
+TPC-DS / BigBench = intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_positive
+
+#: Canonical workload names in the order the paper's figures list them.
+BENCHMARK_NAMES: Tuple[str, ...] = ("BigBench", "TPC-DS", "TPC-H", "FB")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Shape parameters of one benchmark's coflow population."""
+
+    name: str
+    width_range: Tuple[int, int]
+    demand_log_mean: float
+    demand_log_sigma: float
+    arrival_rate: float
+    weight_range: Tuple[float, float] = (1.0, 100.0)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        lo, hi = self.width_range
+        if not (1 <= lo <= hi):
+            raise ValueError(f"invalid width range {self.width_range}")
+        check_positive(self.demand_log_sigma, "demand_log_sigma")
+        check_positive(self.arrival_rate, "arrival_rate")
+        wlo, whi = self.weight_range
+        check_positive(wlo, "weight lower bound")
+        if whi < wlo:
+            raise ValueError("weight_range upper bound below lower bound")
+
+
+def bigbench_profile() -> WorkloadProfile:
+    """BigBench (TPCx-BB): mixed analytic queries, moderate shuffles."""
+    return WorkloadProfile(
+        name="BigBench",
+        width_range=(2, 6),
+        demand_log_mean=0.8,
+        demand_log_sigma=0.7,
+        arrival_rate=0.8,
+        description="Mixed interactive/analytic queries; moderate, fairly "
+        "regular shuffle sizes.",
+    )
+
+
+def tpcds_profile() -> WorkloadProfile:
+    """TPC-DS: many decision-support queries with mid-size shuffles."""
+    return WorkloadProfile(
+        name="TPC-DS",
+        width_range=(2, 8),
+        demand_log_mean=1.0,
+        demand_log_sigma=0.8,
+        arrival_rate=0.7,
+        description="Decision-support queries; wider shuffles with moderate "
+        "size variance.",
+    )
+
+
+def tpch_profile() -> WorkloadProfile:
+    """TPC-H: fewer, heavier shuffle-dominated queries."""
+    return WorkloadProfile(
+        name="TPC-H",
+        width_range=(3, 8),
+        demand_log_mean=1.3,
+        demand_log_sigma=0.6,
+        arrival_rate=0.5,
+        description="Shuffle-heavy ad-hoc queries; larger transfers, lower "
+        "arrival rate.",
+    )
+
+
+def facebook_profile() -> WorkloadProfile:
+    """Facebook (FB) production trace: narrow coflows, heavy-tailed sizes."""
+    return WorkloadProfile(
+        name="FB",
+        width_range=(1, 10),
+        demand_log_mean=0.3,
+        demand_log_sigma=1.4,
+        arrival_rate=1.2,
+        description="Production MapReduce trace shape: mostly small coflows "
+        "with a heavy tail of very large ones; bursty arrivals.",
+    )
+
+
+_PROFILES = {
+    "bigbench": bigbench_profile,
+    "tpc-ds": tpcds_profile,
+    "tpcds": tpcds_profile,
+    "tpc-h": tpch_profile,
+    "tpch": tpch_profile,
+    "fb": facebook_profile,
+    "facebook": facebook_profile,
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a profile by (case-insensitive) benchmark name."""
+    key = name.strip().lower()
+    if key not in _PROFILES:
+        raise KeyError(
+            f"unknown workload {name!r}; expected one of {sorted(set(_PROFILES))}"
+        )
+    return _PROFILES[key]()
+
+
+def all_profiles() -> Dict[str, WorkloadProfile]:
+    """The four paper workloads keyed by their canonical names."""
+    return {name: get_profile(name) for name in BENCHMARK_NAMES}

@@ -1,0 +1,65 @@
+"""Trace (de)serialization.
+
+Workloads can be saved to and loaded from a small JSON format so that
+experiment runs are exactly repeatable and traces can be exchanged without
+re-running the generators.  The format is the one produced by
+``CoflowInstance.to_dict`` for full instances, or a bare list of coflows for
+topology-independent traces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.instance import CoflowInstance
+
+TraceLike = Union[CoflowInstance, List[Coflow]]
+
+
+def save_trace(trace: TraceLike, path: str | Path) -> None:
+    """Write an instance or a coflow list to *path* as JSON."""
+    path = Path(path)
+    if isinstance(trace, CoflowInstance):
+        payload = {"kind": "instance", "data": trace.to_dict()}
+    else:
+        payload = {
+            "kind": "coflows",
+            "data": [c.to_dict() for c in trace],
+        }
+    path.write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: str | Path) -> TraceLike:
+    """Read a trace previously written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("kind")
+    if kind == "instance":
+        return CoflowInstance.from_dict(payload["data"])
+    if kind == "coflows":
+        return [Coflow.from_dict(c) for c in payload["data"]]
+    raise ValueError(f"unrecognized trace file {path} (kind={kind!r})")
+
+
+def load_coflows(path: str | Path) -> List[Coflow]:
+    """Load a trace and return its coflows regardless of the stored kind."""
+    trace = load_trace(path)
+    if isinstance(trace, CoflowInstance):
+        return list(trace.coflows)
+    return trace
+
+
+def trace_summary(trace: TraceLike) -> dict:
+    """Small descriptive statistics used in experiment logs."""
+    coflows = trace.coflows if isinstance(trace, CoflowInstance) else trace
+    num_flows = sum(len(c) for c in coflows)
+    total_demand = sum(c.total_demand for c in coflows)
+    return {
+        "num_coflows": len(coflows),
+        "num_flows": num_flows,
+        "total_demand": total_demand,
+        "max_release_time": max((c.release_time for c in coflows), default=0.0),
+        "weighted": any(abs(c.weight - 1.0) > 1e-12 for c in coflows),
+    }

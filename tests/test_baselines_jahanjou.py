@@ -1,0 +1,115 @@
+"""Tests for the Jahanjou et al. interval-LP + α-point baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.jahanjou import (
+    DEFAULT_ALPHA,
+    OPTIMAL_EPSILON,
+    coflow_alpha_points,
+    interval_lp_lower_bound,
+    jahanjou_schedule,
+)
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.timeindexed import solve_time_indexed_lp
+
+
+class TestAlphaPoints:
+    def test_alpha_points_within_horizon(self, example_single_path_instance):
+        solution = solve_time_indexed_lp(example_single_path_instance, epsilon=0.5436)
+        points = coflow_alpha_points(solution)
+        assert points.shape == (example_single_path_instance.num_coflows,)
+        assert np.all(points > 0)
+        assert np.all(points <= solution.grid.horizon + 1e-9)
+
+    def test_alpha_points_monotone_in_alpha(self, example_single_path_instance):
+        solution = solve_time_indexed_lp(example_single_path_instance, epsilon=0.5436)
+        early = coflow_alpha_points(solution, alpha=0.25)
+        late = coflow_alpha_points(solution, alpha=0.9)
+        assert np.all(early <= late + 1e-9)
+
+    def test_alpha_point_dominated_by_lp_completion(self, example_single_path_instance):
+        # The 1.0-point is exactly the LP completion time of the coflow's
+        # slowest flow, which can exceed the LP completion-time variable but
+        # never the horizon.
+        solution = solve_time_indexed_lp(example_single_path_instance, epsilon=0.5436)
+        full = coflow_alpha_points(solution, alpha=1.0)
+        assert np.all(full <= solution.grid.horizon + 1e-9)
+
+    def test_invalid_alpha_rejected(self, example_single_path_instance):
+        solution = solve_time_indexed_lp(example_single_path_instance, epsilon=0.5436)
+        with pytest.raises(ValueError):
+            coflow_alpha_points(solution, alpha=0.0)
+        with pytest.raises(ValueError):
+            coflow_alpha_points(solution, alpha=1.5)
+
+
+class TestJahanjouSchedule:
+    def test_requires_single_path_model(self, example_free_path_instance):
+        with pytest.raises(ValueError, match="single path"):
+            jahanjou_schedule(example_free_path_instance)
+
+    def test_completion_times_positive_and_finite(self, example_single_path_instance):
+        result = jahanjou_schedule(example_single_path_instance)
+        assert np.all(result.coflow_completion_times > 0)
+        assert np.all(np.isfinite(result.coflow_completion_times))
+
+    def test_objective_at_least_lp_bound(self, example_single_path_instance):
+        result = jahanjou_schedule(example_single_path_instance)
+        bound = result.metadata["lp_lower_bound"]
+        assert result.weighted_completion_time >= bound - 1e-6
+
+    def test_worse_than_time_indexed_heuristic_on_congested_instance(
+        self, small_swan_single_instance
+    ):
+        """The paper's Figures 9-10 shape: our LP heuristic beats Jahanjou."""
+        lp_solution = solve_time_indexed_lp(small_swan_single_instance)
+        heuristic = lp_heuristic_schedule(lp_solution).weighted_completion_time()
+        jahanjou = jahanjou_schedule(small_swan_single_instance).weighted_completion_time
+        assert heuristic <= jahanjou + 1e-6
+
+    def test_respects_release_times(self, example_single_path_instance):
+        delayed = example_single_path_instance.with_coflows(
+            [
+                c.with_flows([f.with_release_time(4.0) for f in c.flows]).with_release_time(4.0)
+                for c in example_single_path_instance.coflows
+            ]
+        )
+        result = jahanjou_schedule(delayed)
+        assert np.all(result.coflow_completion_times >= 4.0 - 1e-9)
+
+    def test_metadata_fields(self, example_single_path_instance):
+        result = jahanjou_schedule(example_single_path_instance, epsilon=0.3, alpha=0.4)
+        assert result.metadata["epsilon"] == 0.3
+        assert result.metadata["alpha"] == 0.4
+        assert result.metadata["num_batches"] >= 1
+
+    def test_invalid_alpha_rejected(self, example_single_path_instance):
+        with pytest.raises(ValueError):
+            jahanjou_schedule(example_single_path_instance, alpha=1.0)
+
+    def test_reuses_provided_lp_solution(self, example_single_path_instance):
+        solution = solve_time_indexed_lp(
+            example_single_path_instance, epsilon=OPTIMAL_EPSILON
+        )
+        result = jahanjou_schedule(
+            example_single_path_instance, lp_solution=solution
+        )
+        assert result.metadata["lp_lower_bound"] == pytest.approx(solution.objective)
+
+    def test_rejects_foreign_lp_solution(
+        self, example_single_path_instance, small_swan_single_instance
+    ):
+        other = solve_time_indexed_lp(small_swan_single_instance, epsilon=0.5)
+        with pytest.raises(ValueError, match="different instance"):
+            jahanjou_schedule(example_single_path_instance, lp_solution=other)
+
+
+class TestIntervalLPBound:
+    def test_bound_positive_and_below_optimum(self, example_single_path_instance):
+        bound = interval_lp_lower_bound(example_single_path_instance, epsilon=0.2)
+        assert 0 < bound <= 7.0 + 1e-6
+
+    def test_default_constants(self):
+        assert 0 < DEFAULT_ALPHA < 1
+        assert OPTIMAL_EPSILON == pytest.approx(0.5436)

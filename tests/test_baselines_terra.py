@@ -1,0 +1,82 @@
+"""Tests for the Terra offline baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.terra import (
+    standalone_completion_times,
+    terra_lower_bound,
+    terra_offline_schedule,
+)
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.network.topologies import paper_example_topology
+from repro.workloads.generator import random_instance
+from repro.network.topologies import swan_topology
+
+
+@pytest.fixture
+def example_instance(example_free_path_instance):
+    return example_free_path_instance
+
+
+class TestStandaloneTimes:
+    def test_paper_example(self, example_instance):
+        times = standalone_completion_times(example_instance)
+        # red/green/orange: 1 unit with a max flow of 2 (direct edge plus the
+        # detour through s) -> 0.5; blue: 3 units at max-flow 3 -> 1.
+        np.testing.assert_allclose(times, [0.5, 0.5, 0.5, 1.0], atol=1e-6)
+
+    def test_lower_bound_positive(self, example_instance):
+        assert terra_lower_bound(example_instance) == pytest.approx(2.5, abs=1e-5)
+
+
+class TestTerraSchedule:
+    def test_requires_free_path_model(self, example_single_path_instance):
+        with pytest.raises(ValueError, match="free path"):
+            terra_offline_schedule(example_single_path_instance)
+
+    def test_paper_example_total_completion(self, example_instance):
+        result = terra_offline_schedule(example_instance)
+        # Terra works in continuous time and can split flows over several
+        # paths, so it beats the slotted optimum of 5 here; the sum of
+        # standalone times (2.5) is a hard lower bound.
+        assert result.total_completion_time <= 6.0 + 1e-6
+        assert result.total_completion_time >= 2.5 - 1e-6
+
+    def test_completion_times_dominate_standalone_times(self, example_instance):
+        result = terra_offline_schedule(example_instance)
+        standalone = standalone_completion_times(example_instance)
+        release = example_instance.release_times
+        assert np.all(
+            result.coflow_completion_times >= standalone + release - 1e-6
+        )
+
+    def test_algorithm_label_and_metadata(self, example_instance):
+        result = terra_offline_schedule(example_instance)
+        assert result.algorithm == "terra"
+        assert "standalone_times" in result.metadata
+
+    def test_on_random_swan_instance_is_reasonable(self):
+        instance = random_instance(
+            swan_topology(), num_coflows=4, max_flows_per_coflow=2, rng=7,
+            model="free_path", weighted=False,
+        )
+        result = terra_offline_schedule(instance)
+        standalone = standalone_completion_times(instance)
+        # Terra is work conserving, so no coflow can take longer than the
+        # serial completion of everything.
+        serial_bound = float(standalone.sum()) + float(instance.release_times.max())
+        assert result.makespan <= serial_bound + 1e-6
+        assert np.all(result.coflow_completion_times > 0)
+
+    def test_weights_ignored_by_ordering(self, example_instance):
+        weighted = example_instance.with_coflows(
+            [c.with_weight(w) for c, w in zip(example_instance.coflows, [1, 1, 1, 100])]
+        )
+        plain = terra_offline_schedule(example_instance)
+        heavy = terra_offline_schedule(weighted)
+        np.testing.assert_allclose(
+            plain.coflow_completion_times, heavy.coflow_completion_times, atol=1e-9
+        )

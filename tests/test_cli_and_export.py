@@ -1,0 +1,140 @@
+"""Tests for the command-line interface and result export."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import figures as F
+from repro.experiments.export import read_json, result_to_records, write_csv, write_json
+from repro.experiments.figures import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.coflow.instance import TransmissionModel
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    config = ExperimentConfig(
+        experiment_id="tiny-export",
+        title="tiny export experiment",
+        topology="swan",
+        model=TransmissionModel.FREE_PATH,
+        workloads=("FB",),
+        series=(F.SERIES_LP_BOUND, F.SERIES_HEURISTIC),
+        num_coflows=3,
+        seed=13,
+    )
+    return run_experiment(config)
+
+
+class TestExport:
+    def test_records_flatten_all_values(self, tiny_result):
+        records = result_to_records(tiny_result)
+        assert len(records) == sum(len(v) for v in tiny_result.values.values())
+        assert {r["workload"] for r in records} == {"FB"}
+        assert all(r["experiment_id"] == "tiny-export" for r in records)
+
+    def test_write_csv(self, tiny_result, tmp_path):
+        path = tmp_path / "out.csv"
+        rows = write_csv([tiny_result], path)
+        content = path.read_text().splitlines()
+        assert content[0].startswith("experiment_id,")
+        assert len(content) == rows + 1
+
+    def test_write_and_read_json(self, tiny_result, tmp_path):
+        path = tmp_path / "out.json"
+        write_json([tiny_result], path)
+        loaded = read_json(path)
+        assert loaded[0]["experiment_id"] == "tiny-export"
+        assert "FB" in loaded[0]["values"]
+        assert loaded[0]["values"]["FB"][F.SERIES_LP_BOUND] > 0
+
+
+class TestCliParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parses_generate(self):
+        args = build_parser().parse_args(
+            ["generate", "out.json", "--workload", "FB", "--num-coflows", "5"]
+        )
+        assert args.command == "generate"
+        assert args.num_coflows == 5
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCliCommands:
+    def test_topologies_lists_both_wans(self):
+        out = io.StringIO()
+        assert main(["topologies"], out=out) == 0
+        text = out.getvalue()
+        assert "swan" in text and "gscale" in text
+
+    def test_generate_then_solve_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "generate",
+                str(trace),
+                "--workload",
+                "FB",
+                "--num-coflows",
+                "3",
+                "--seed",
+                "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert trace.exists()
+        payload = json.loads(trace.read_text())
+        assert len(payload["coflows"]) == 3
+
+        out = io.StringIO()
+        code = main(["solve", str(trace), "--algorithm", "lp-heuristic"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "LP lower bound" in text
+        assert "gap to bound" in text
+
+    def test_generate_single_path_model(self, tmp_path):
+        trace = tmp_path / "sp.json"
+        out = io.StringIO()
+        assert (
+            main(
+                [
+                    "generate",
+                    str(trace),
+                    "--model",
+                    "single_path",
+                    "--num-coflows",
+                    "3",
+                    "--seed",
+                    "2",
+                ],
+                out=out,
+            )
+            == 0
+        )
+        payload = json.loads(trace.read_text())
+        assert payload["model"] == "single_path"
+        for coflow in payload["coflows"]:
+            for flow in coflow["flows"]:
+                assert flow["path"] is not None
+
+    def test_solve_stretch_algorithm(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        main(["generate", str(trace), "--num-coflows", "2", "--seed", "3"], out=io.StringIO())
+        out = io.StringIO()
+        code = main(
+            ["solve", str(trace), "--algorithm", "stretch-best", "--num-samples", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert "stretch-best" in out.getvalue()

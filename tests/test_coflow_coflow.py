@@ -1,0 +1,94 @@
+"""Tests for the Coflow container."""
+
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+
+
+def make_flows():
+    return (
+        Flow("a", "b", 2.0),
+        Flow("a", "c", 3.0, release_time=1.5),
+        Flow("b", "c", 1.0),
+    )
+
+
+class TestCoflowConstruction:
+    def test_basic_fields(self):
+        coflow = Coflow(make_flows(), weight=4.0, release_time=1.0, name="C")
+        assert coflow.num_flows == 3
+        assert coflow.weight == 4.0
+        assert coflow.release_time == 1.0
+        assert len(coflow) == 3
+
+    def test_empty_flow_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one flow"):
+            Coflow(())
+
+    def test_non_flow_member_rejected(self):
+        with pytest.raises(TypeError):
+            Coflow(("not a flow",))
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Coflow(make_flows(), weight=0.0)
+
+    def test_negative_release_time_rejected(self):
+        with pytest.raises(ValueError):
+            Coflow(make_flows(), release_time=-1.0)
+
+    def test_iteration_yields_flows(self):
+        flows = make_flows()
+        assert tuple(Coflow(flows)) == flows
+
+
+class TestCoflowProperties:
+    def test_total_and_max_demand(self):
+        coflow = Coflow(make_flows())
+        assert coflow.total_demand == pytest.approx(6.0)
+        assert coflow.max_demand == pytest.approx(3.0)
+
+    def test_effective_release_time_takes_max(self):
+        coflow = Coflow(make_flows(), release_time=1.0)
+        flows = list(coflow)
+        assert coflow.effective_release_time(flows[0]) == 1.0
+        assert coflow.effective_release_time(flows[1]) == 1.5
+
+    def test_endpoints(self):
+        coflow = Coflow(make_flows())
+        assert coflow.endpoints() == {"a", "b", "c"}
+
+    def test_all_paths_pinned(self):
+        unpinned = Coflow(make_flows())
+        assert not unpinned.all_paths_pinned()
+        pinned = unpinned.with_flows(
+            [f.with_path((f.source, f.sink)) for f in unpinned]
+        )
+        assert pinned.all_paths_pinned()
+
+
+class TestCoflowTransformations:
+    def test_with_weight(self):
+        coflow = Coflow(make_flows(), weight=2.0)
+        assert coflow.with_weight(5.0).weight == 5.0
+        assert coflow.weight == 2.0
+
+    def test_unweighted(self):
+        assert Coflow(make_flows(), weight=9.0).unweighted().weight == 1.0
+
+    def test_with_release_time(self):
+        assert Coflow(make_flows()).with_release_time(3.0).release_time == 3.0
+
+    def test_with_flows_replaces_flows(self):
+        coflow = Coflow(make_flows(), weight=2.0, name="C")
+        single = coflow.with_flows([Flow("x", "y", 1.0)])
+        assert single.num_flows == 1
+        assert single.weight == 2.0
+        assert single.name == "C"
+
+    def test_round_trip_dict(self):
+        coflow = Coflow(make_flows(), weight=3.0, release_time=2.0, name="C7")
+        restored = Coflow.from_dict(coflow.to_dict())
+        assert restored == coflow
+        assert restored.name == "C7"

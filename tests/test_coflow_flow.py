@@ -1,0 +1,110 @@
+"""Tests for the Flow value object."""
+
+import pytest
+
+from repro.coflow.flow import Flow
+
+
+class TestFlowConstruction:
+    def test_basic_fields(self):
+        flow = Flow("a", "b", 4.0)
+        assert flow.source == "a"
+        assert flow.sink == "b"
+        assert flow.demand == 4.0
+        assert flow.release_time == 0.0
+        assert flow.path is None
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", 0.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", -1.0)
+
+    def test_negative_release_time_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", 1.0, release_time=-0.1)
+
+    def test_equal_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            Flow("a", "a", 1.0)
+
+    def test_flow_is_hashable_and_comparable(self):
+        f1 = Flow("a", "b", 1.0)
+        f2 = Flow("a", "b", 1.0)
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+
+    def test_name_not_part_of_equality(self):
+        assert Flow("a", "b", 1.0, name="x") == Flow("a", "b", 1.0, name="y")
+
+
+class TestFlowPath:
+    def test_valid_path_accepted(self):
+        flow = Flow("a", "c", 1.0, path=("a", "b", "c"))
+        assert flow.has_path
+        assert flow.path == ("a", "b", "c")
+
+    def test_path_must_start_at_source(self):
+        with pytest.raises(ValueError, match="start"):
+            Flow("a", "c", 1.0, path=("b", "c"))
+
+    def test_path_must_end_at_sink(self):
+        with pytest.raises(ValueError, match="end"):
+            Flow("a", "c", 1.0, path=("a", "b"))
+
+    def test_path_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            Flow("a", "c", 1.0, path=("a",))
+
+    def test_path_with_repeated_node_rejected(self):
+        with pytest.raises(ValueError, match="repeat"):
+            Flow("a", "c", 1.0, path=("a", "b", "a", "c"))
+
+    def test_path_edges(self):
+        flow = Flow("a", "c", 1.0, path=("a", "b", "c"))
+        assert flow.path_edges() == (("a", "b"), ("b", "c"))
+
+    def test_path_edges_without_path_raises(self):
+        with pytest.raises(ValueError):
+            Flow("a", "c", 1.0).path_edges()
+
+    def test_with_path_returns_new_flow(self):
+        flow = Flow("a", "c", 2.0)
+        pinned = flow.with_path(("a", "b", "c"))
+        assert pinned.has_path
+        assert not flow.has_path
+        assert pinned.demand == flow.demand
+
+    def test_list_path_converted_to_tuple(self):
+        flow = Flow("a", "c", 1.0, path=["a", "b", "c"])
+        assert isinstance(flow.path, tuple)
+
+
+class TestFlowTransformations:
+    def test_with_release_time(self):
+        flow = Flow("a", "b", 1.0)
+        later = flow.with_release_time(5.0)
+        assert later.release_time == 5.0
+        assert flow.release_time == 0.0
+
+    def test_scaled_multiplies_demand(self):
+        flow = Flow("a", "b", 2.0)
+        assert flow.scaled(3.0).demand == 6.0
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            Flow("a", "b", 2.0).scaled(0.0)
+
+    def test_round_trip_dict(self):
+        flow = Flow("a", "c", 2.5, path=("a", "b", "c"), release_time=1.0, name="f")
+        restored = Flow.from_dict(flow.to_dict())
+        assert restored == flow
+        assert restored.name == "f"
+
+    def test_from_dict_without_optional_fields(self):
+        restored = Flow.from_dict({"source": "a", "sink": "b", "demand": 1})
+        assert restored.demand == 1.0
+        assert restored.path is None
+        assert restored.release_time == 0.0

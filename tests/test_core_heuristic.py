@@ -1,0 +1,54 @@
+"""Tests for the LP-based heuristic (λ = 1, Section 6.2)."""
+
+import pytest
+
+from repro.core.heuristic import heuristic_gap, heuristic_objective, lp_heuristic_schedule
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.schedule.feasibility import check_feasibility
+
+
+class TestLPHeuristic:
+    def test_paper_single_path_example_achieves_seven(
+        self, example_single_path_instance
+    ):
+        solution = solve_time_indexed_lp(example_single_path_instance, num_slots=8)
+        schedule = lp_heuristic_schedule(solution)
+        assert schedule.weighted_completion_time() == pytest.approx(7.0)
+
+    def test_paper_free_path_example_achieves_five(self, example_free_path_instance):
+        solution = solve_time_indexed_lp(example_free_path_instance, num_slots=8)
+        schedule = lp_heuristic_schedule(solution)
+        assert schedule.weighted_completion_time() == pytest.approx(5.0)
+
+    def test_schedule_is_feasible(self, example_free_path_instance):
+        solution = solve_time_indexed_lp(example_free_path_instance, num_slots=8)
+        report = check_feasibility(lp_heuristic_schedule(solution))
+        assert report.is_feasible, report.violations
+
+    def test_objective_at_least_lp_bound(self, small_swan_free_instance):
+        solution = solve_time_indexed_lp(small_swan_free_instance)
+        assert heuristic_objective(solution) >= solution.objective - 1e-6
+
+    def test_compaction_never_hurts(self, small_swan_free_instance):
+        solution = solve_time_indexed_lp(small_swan_free_instance)
+        with_compaction = heuristic_objective(solution, compact=True)
+        without = heuristic_objective(solution, compact=False)
+        assert with_compaction <= without + 1e-9
+
+    def test_metadata(self, example_free_path_instance):
+        solution = solve_time_indexed_lp(example_free_path_instance, num_slots=8)
+        schedule = lp_heuristic_schedule(solution)
+        assert schedule.metadata["algorithm"] == "lp-heuristic"
+        assert schedule.metadata["lambda"] == 1.0
+
+    def test_gap_close_to_one_on_small_instances(self, small_swan_free_instance):
+        solution = solve_time_indexed_lp(small_swan_free_instance)
+        gap = heuristic_gap(solution)
+        assert 1.0 - 1e-9 <= gap <= 2.0
+
+    def test_single_path_heuristic_feasible(self, small_swan_single_instance):
+        solution = solve_time_indexed_lp(small_swan_single_instance)
+        schedule = lp_heuristic_schedule(solution)
+        report = check_feasibility(schedule)
+        assert report.is_feasible, report.violations
+        assert schedule.is_complete()

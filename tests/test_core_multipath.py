@@ -1,0 +1,138 @@
+"""Tests for the intermediate "k given paths" model."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.multipath import assign_candidate_paths, solve_multipath_lp
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.schedule.feasibility import check_feasibility
+from repro.workloads.generator import random_instance
+from repro.network.topologies import paper_example_topology, swan_topology
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+
+
+@pytest.fixture(scope="module")
+def swan_single_instance():
+    return random_instance(
+        swan_topology(),
+        num_coflows=4,
+        max_flows_per_coflow=2,
+        model="single_path",
+        rng=17,
+    )
+
+
+class TestAssignCandidatePaths:
+    def test_every_flow_gets_candidates(self, swan_single_instance):
+        candidates = assign_candidate_paths(swan_single_instance, k=2)
+        assert set(candidates) == set(range(swan_single_instance.num_flows))
+        for ref in swan_single_instance.flow_refs():
+            paths = candidates[ref.global_index]
+            assert 1 <= len(paths) <= 3  # k shortest plus possibly the pinned path
+            for path in paths:
+                assert path[0] == ref.flow.source
+                assert path[-1] == ref.flow.sink
+
+    def test_pinned_path_included(self, swan_single_instance):
+        candidates = assign_candidate_paths(swan_single_instance, k=1)
+        for ref in swan_single_instance.flow_refs():
+            assert tuple(ref.flow.path) in candidates[ref.global_index]
+
+    def test_pinned_path_can_be_excluded(self, swan_single_instance):
+        candidates = assign_candidate_paths(
+            swan_single_instance, k=1, include_pinned=False
+        )
+        for paths in candidates.values():
+            assert len(paths) == 1
+
+    def test_invalid_k(self, swan_single_instance):
+        with pytest.raises(ValueError):
+            assign_candidate_paths(swan_single_instance, k=0)
+
+
+class TestSolveMultipathLP:
+    def test_schedule_is_feasible(self, swan_single_instance):
+        solution = solve_multipath_lp(swan_single_instance, k=2)
+        schedule = lp_heuristic_schedule(solution)
+        report = check_feasibility(schedule)
+        assert report.is_feasible, report.violations
+        assert schedule.is_complete()
+
+    def test_bound_interpolates_between_models(self, swan_single_instance):
+        sp = solve_time_indexed_lp(swan_single_instance)
+        fp = solve_time_indexed_lp(
+            swan_single_instance.with_model("free_path"), grid=sp.grid
+        )
+        previous = None
+        for k in (1, 2, 3):
+            mp = solve_multipath_lp(swan_single_instance, k=k, grid=sp.grid)
+            # The free path model relaxes the multipath model.
+            assert mp.objective >= fp.objective - 1e-6
+            # More candidate paths never hurt (path sets are nested).
+            if previous is not None:
+                assert mp.objective <= previous + 1e-6
+            previous = mp.objective
+        # With the pinned path always included, the multipath model is also a
+        # relaxation of the single path model.
+        assert previous <= sp.objective + 1e-6
+
+    def test_matches_free_path_on_paper_example(self):
+        graph = paper_example_topology()
+        coflows = [
+            Coflow([Flow("v1", "t", 1.0)], name="red"),
+            Coflow([Flow("v2", "t", 1.0)], name="green"),
+            Coflow([Flow("v3", "t", 1.0)], name="orange"),
+            Coflow([Flow("s", "t", 3.0)], name="blue"),
+        ]
+        instance = CoflowInstance(graph, coflows, model="free_path")
+        fp = solve_time_indexed_lp(instance, num_slots=8)
+        # With 3 candidate paths per flow the blue coflow can use all three
+        # s->vi->t routes, matching the free path optimum of 5.
+        mp = solve_multipath_lp(instance, k=3, grid=fp.grid)
+        assert mp.objective == pytest.approx(fp.objective, abs=1e-5)
+        schedule = lp_heuristic_schedule(mp)
+        assert schedule.weighted_completion_time() == pytest.approx(5.0)
+
+    def test_k1_restricts_to_single_route(self):
+        graph = paper_example_topology()
+        instance = CoflowInstance(
+            graph, [Coflow([Flow("s", "t", 3.0)], name="blue")], model="free_path"
+        )
+        k1 = solve_multipath_lp(instance, k=1, num_slots=6)
+        k3 = solve_multipath_lp(instance, k=3, num_slots=6)
+        # One path: the actual schedule needs 3 slots (the LP completion-time
+        # variable is the weaker fractional bound of 2); three paths: 1 slot.
+        assert lp_heuristic_schedule(k1).weighted_completion_time() == pytest.approx(3.0)
+        assert lp_heuristic_schedule(k3).weighted_completion_time() == pytest.approx(1.0)
+        assert k1.objective >= 2.0 - 1e-6
+        assert k3.objective <= 1.0 + 1e-6
+
+    def test_explicit_candidate_paths_validation(self, swan_single_instance):
+        with pytest.raises(ValueError, match="missing flow"):
+            solve_multipath_lp(swan_single_instance, candidate_paths={})
+        bad = {
+            ref.global_index: [("NY", "FL")]
+            for ref in swan_single_instance.flow_refs()
+        }
+        with pytest.raises(ValueError):
+            solve_multipath_lp(swan_single_instance, candidate_paths=bad)
+
+    def test_release_times_respected(self):
+        graph = paper_example_topology()
+        coflow = Coflow(
+            [Flow("s", "t", 2.0, release_time=2.0)], release_time=2.0, name="late"
+        )
+        instance = CoflowInstance(graph, [coflow], model="free_path")
+        solution = solve_multipath_lp(instance, k=3, num_slots=6)
+        np.testing.assert_allclose(solution.fractions[0, :2], 0.0, atol=1e-9)
+        assert solution.objective >= 3.0 - 1e-6
+
+    def test_metadata_reports_model(self, swan_single_instance):
+        solution = solve_multipath_lp(swan_single_instance, k=2)
+        assert solution.metadata["model"] == "multipath"
+        assert len(solution.metadata["num_candidate_paths"]) == (
+            swan_single_instance.num_flows
+        )

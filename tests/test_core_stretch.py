@@ -1,0 +1,169 @@
+"""Tests for the Stretch algorithm (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stretch import (
+    StretchEvaluation,
+    default_stretched_grid,
+    evaluate_stretch,
+    run_stretch,
+    stretch_fractions,
+)
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.schedule.feasibility import check_feasibility
+from repro.schedule.timegrid import TimeGrid
+
+
+@pytest.fixture(scope="module")
+def example_lp_solution():
+    """LP solution of the paper's free path example (module-scoped: solved once)."""
+    from repro.coflow.coflow import Coflow
+    from repro.coflow.flow import Flow
+    from repro.coflow.instance import CoflowInstance
+    from repro.network.topologies import paper_example_topology
+
+    graph = paper_example_topology()
+    coflows = [
+        Coflow([Flow("v1", "t", 1.0)], name="red"),
+        Coflow([Flow("v2", "t", 1.0)], name="green"),
+        Coflow([Flow("v3", "t", 1.0)], name="orange"),
+        Coflow([Flow("s", "t", 3.0)], name="blue"),
+    ]
+    instance = CoflowInstance(graph, coflows, model="free_path")
+    return solve_time_indexed_lp(instance, num_slots=8)
+
+
+class TestStretchFractions:
+    def test_lambda_one_preserves_schedule_totals(self):
+        grid = TimeGrid.uniform(4)
+        fractions = np.array([[0.25, 0.25, 0.25, 0.25]])
+        stretched, _, new_grid = stretch_fractions(fractions, grid, 1.0)
+        # With lambda = 1 the stretched schedule is the original one.
+        np.testing.assert_allclose(stretched[:, :4], fractions, atol=1e-9)
+        assert new_grid.num_slots >= 4
+
+    def test_smaller_lambda_ships_more_before_truncation(self):
+        grid = TimeGrid.uniform(2)
+        fractions = np.array([[0.5, 0.5]])
+        stretched, _, _ = stretch_fractions(fractions, grid, 0.5)
+        # Replaying at the original rate for twice as long ships 2x the demand.
+        assert stretched.sum() == pytest.approx(2.0, abs=1e-9)
+
+    def test_half_lambda_duplicates_unit_slots(self):
+        grid = TimeGrid.uniform(2)
+        fractions = np.array([[0.6, 0.4]])
+        stretched, _, _ = stretch_fractions(fractions, grid, 0.5)
+        # Slot t of the LP lands in slots 2t and 2t+1 at the same rate.
+        np.testing.assert_allclose(stretched[0, :4], [0.6, 0.6, 0.4, 0.4])
+
+    def test_rates_never_exceed_lp_rates(self):
+        rng = np.random.default_rng(0)
+        grid = TimeGrid.uniform(5)
+        fractions = rng.dirichlet(np.ones(5), size=3)
+        for lam in (0.3, 0.62, 0.95):
+            stretched, _, _ = stretch_fractions(fractions, grid, lam)
+            assert stretched.max() <= fractions.max() + 1e-9
+
+    def test_edge_fractions_stretched_consistently(self):
+        grid = TimeGrid.uniform(2)
+        fractions = np.array([[0.5, 0.5]])
+        edge_fractions = np.zeros((1, 2, 2))
+        edge_fractions[0, :, 0] = [0.5, 0.5]
+        stretched, stretched_edges, _ = stretch_fractions(
+            fractions, grid, 0.5, edge_fractions=edge_fractions
+        )
+        np.testing.assert_allclose(stretched_edges[0, :, 0], stretched[0])
+
+    def test_invalid_lambda_rejected(self):
+        grid = TimeGrid.uniform(2)
+        fractions = np.ones((1, 2)) * 0.5
+        with pytest.raises(ValueError):
+            stretch_fractions(fractions, grid, 0.0)
+        with pytest.raises(ValueError):
+            stretch_fractions(fractions, grid, 1.5)
+
+    def test_default_stretched_grid_covers_horizon(self):
+        grid = TimeGrid.uniform(5)
+        target = default_stretched_grid(grid, 0.4)
+        assert target.horizon >= grid.horizon / 0.4 - 1e-9
+
+
+class TestRunStretch:
+    def test_schedule_is_feasible_for_random_lambdas(self, example_lp_solution):
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            result = run_stretch(example_lp_solution, rng=rng)
+            report = check_feasibility(result.schedule)
+            assert report.is_feasible, report.violations
+            assert result.schedule.is_complete()
+
+    def test_fixed_lambda_is_deterministic(self, example_lp_solution):
+        a = run_stretch(example_lp_solution, lam=0.7)
+        b = run_stretch(example_lp_solution, lam=0.7)
+        assert a.objective == pytest.approx(b.objective)
+        assert a.lam == b.lam == 0.7
+
+    def test_lambda_one_matches_lp_heuristic_shape(self, example_lp_solution):
+        result = run_stretch(example_lp_solution, lam=1.0, compact=False)
+        lp_schedule = example_lp_solution.to_schedule()
+        assert result.objective == pytest.approx(
+            lp_schedule.weighted_completion_time(), abs=1e-6
+        )
+
+    def test_objective_at_least_lower_bound(self, example_lp_solution):
+        for lam in (0.4, 0.6, 0.9, 1.0):
+            result = run_stretch(example_lp_solution, lam=lam)
+            assert result.objective >= example_lp_solution.objective - 1e-6
+            assert result.approximation_ratio >= 1.0 - 1e-9
+
+    def test_compaction_never_hurts(self, example_lp_solution):
+        for lam in (0.5, 0.8):
+            plain = run_stretch(example_lp_solution, lam=lam, compact=False)
+            compacted = run_stretch(example_lp_solution, lam=lam, compact=True)
+            assert compacted.objective <= plain.objective + 1e-9
+
+    def test_metadata_records_lambda(self, example_lp_solution):
+        result = run_stretch(example_lp_solution, lam=0.55)
+        assert result.schedule.metadata["lambda"] == 0.55
+        assert result.schedule.metadata["algorithm"] == "stretch"
+
+
+class TestEvaluateStretch:
+    def test_sample_count(self, example_lp_solution):
+        evaluation = evaluate_stretch(example_lp_solution, num_samples=7, rng=1)
+        assert evaluation.num_samples == 7
+        assert len(evaluation.lambdas) == 7
+
+    def test_best_not_worse_than_average(self, example_lp_solution):
+        evaluation = evaluate_stretch(example_lp_solution, num_samples=10, rng=2)
+        assert evaluation.best_objective <= evaluation.average_objective + 1e-9
+        assert evaluation.best_objective <= evaluation.worst_objective + 1e-9
+
+    def test_best_result_consistency(self, example_lp_solution):
+        evaluation = evaluate_stretch(example_lp_solution, num_samples=5, rng=3)
+        assert evaluation.best_result.objective == pytest.approx(
+            evaluation.best_objective
+        )
+        assert 0 < evaluation.best_lambda <= 1.0
+
+    def test_reproducible_with_seed(self, example_lp_solution):
+        a = evaluate_stretch(example_lp_solution, num_samples=5, rng=42)
+        b = evaluate_stretch(example_lp_solution, num_samples=5, rng=42)
+        np.testing.assert_allclose(a.objectives, b.objectives)
+        np.testing.assert_allclose(a.lambdas, b.lambdas)
+
+    def test_empirical_two_approximation(self, example_lp_solution):
+        """Theorem 4.4: E[objective] <= 2 x LP bound (with slack for slotting)."""
+        evaluation = evaluate_stretch(example_lp_solution, num_samples=40, rng=7)
+        bound = example_lp_solution.objective
+        slack = float(example_lp_solution.instance.weights.sum())  # one slot per coflow
+        assert evaluation.average_objective <= 2.0 * bound + slack
+
+    def test_invalid_sample_count(self, example_lp_solution):
+        with pytest.raises(ValueError):
+            evaluate_stretch(example_lp_solution, num_samples=0)
+
+    def test_empty_evaluation_properties(self):
+        evaluation = StretchEvaluation(results=[])
+        assert evaluation.num_samples == 0

@@ -1,0 +1,138 @@
+"""Cross-validation integration tests.
+
+These tests validate the coflow algorithms against *independently computed*
+references:
+
+* brute-force optima of concurrent open shop instances, carried over through
+  the Section 5 reduction;
+* the dominance relations between transmission models and between algorithm
+  families (LP bound <= any feasible schedule, free path <= single path, ...);
+* the empirical 2-approximation guarantee of Theorem 4.4 across a batch of
+  random instances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.greedy import fifo_schedule, weighted_sjf_schedule
+from repro.baselines.terra import terra_offline_schedule
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.stretch import evaluate_stretch
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.network.topologies import swan_topology
+from repro.openshop.instance import OpenShopInstance
+from repro.openshop.reduction import openshop_to_coflow_instance
+from repro.openshop.schedulers import brute_force_optimum
+from repro.schedule.feasibility import check_feasibility
+from repro.workloads.generator import random_instance
+
+
+class TestOpenShopCrossValidation:
+    """The Section 5 reduction lets us compare against exact optima."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lp_bound_below_exact_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        shop = OpenShopInstance.random(2, 4, rng, max_processing=4.0)
+        _, optimum = brute_force_optimum(shop)
+        instance = openshop_to_coflow_instance(shop)
+        lp = solve_time_indexed_lp(instance)
+        assert lp.objective <= optimum + 1e-6
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_heuristic_within_two_of_exact_optimum(self, seed):
+        rng = np.random.default_rng(seed)
+        shop = OpenShopInstance.random(2, 4, rng, max_processing=4.0)
+        _, optimum = brute_force_optimum(shop)
+        instance = openshop_to_coflow_instance(shop)
+        lp = solve_time_indexed_lp(instance)
+        heuristic = lp_heuristic_schedule(lp).weighted_completion_time()
+        # The heuristic is not worst-case bounded, but on these small
+        # instances it stays within the 2x envelope plus one slot per job of
+        # slotting overhead (demands are fractional, slots are integral).
+        slack = float(shop.weights.sum())
+        assert heuristic <= 2.0 * optimum + slack
+
+    def test_integral_demands_single_machine_heuristic_is_optimal(self):
+        # One machine, integral demands: WSPT order is optimal and the LP
+        # heuristic matches it exactly because slots align with job sizes.
+        shop = OpenShopInstance(
+            processing=np.array([[2.0, 1.0, 3.0]]),
+            weights=np.array([1.0, 4.0, 1.0]),
+        )
+        _, optimum = brute_force_optimum(shop)
+        instance = openshop_to_coflow_instance(shop)
+        lp = solve_time_indexed_lp(instance)
+        heuristic = lp_heuristic_schedule(lp).weighted_completion_time()
+        assert heuristic == pytest.approx(optimum)
+
+
+class TestModelDominance:
+    def test_free_path_bound_never_worse_than_single_path(self):
+        graph = swan_topology()
+        single = random_instance(
+            graph, num_coflows=3, max_flows_per_coflow=2, model="single_path", rng=11
+        )
+        # Re-use the same coflows (paths are simply ignored by the free model).
+        free = single.with_model("free_path")
+        sp = solve_time_indexed_lp(single)
+        fp = solve_time_indexed_lp(free, grid=sp.grid)
+        assert fp.objective <= sp.objective + 1e-6
+
+    def test_lp_bound_below_every_algorithm(self):
+        graph = swan_topology()
+        instance = random_instance(
+            graph, num_coflows=4, max_flows_per_coflow=2, model="free_path", rng=21
+        )
+        lp = solve_time_indexed_lp(instance)
+        bound = lp.objective
+        heuristic = lp_heuristic_schedule(lp).weighted_completion_time()
+        fifo = fifo_schedule(instance).weighted_completion_time
+        wsjf = weighted_sjf_schedule(instance).weighted_completion_time
+        assert bound <= heuristic + 1e-6
+        # Continuous-time baselines are not restricted to slot boundaries, so
+        # they may dip slightly below the slotted LP bound; they can never be
+        # better than the paper's continuous-time lower-bound intuition of
+        # half the slotted bound on these instances.
+        assert fifo >= 0.5 * bound
+        assert wsjf >= 0.5 * bound
+
+    def test_terra_and_heuristic_agree_within_factor_two_unweighted(self):
+        graph = swan_topology()
+        instance = random_instance(
+            graph,
+            num_coflows=4,
+            max_flows_per_coflow=2,
+            model="free_path",
+            weighted=False,
+            rng=31,
+        )
+        lp = solve_time_indexed_lp(instance)
+        heuristic_total = lp_heuristic_schedule(lp).total_completion_time()
+        terra_total = terra_offline_schedule(instance).total_completion_time
+        assert terra_total <= 2.0 * heuristic_total
+        assert heuristic_total <= 2.0 * terra_total + float(instance.num_coflows)
+
+
+class TestStretchGuaranteeAcrossInstances:
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_average_lambda_within_guarantee(self, seed):
+        graph = swan_topology()
+        instance = random_instance(
+            graph, num_coflows=3, max_flows_per_coflow=2, model="free_path", rng=seed
+        )
+        lp = solve_time_indexed_lp(instance)
+        evaluation = evaluate_stretch(lp, num_samples=20, rng=seed)
+        slack = float(instance.weights.sum())  # one slot of rounding per coflow
+        assert evaluation.average_objective <= 2.0 * lp.objective + slack
+
+    def test_every_sampled_schedule_is_feasible(self):
+        graph = swan_topology()
+        instance = random_instance(
+            graph, num_coflows=3, max_flows_per_coflow=2, model="free_path", rng=99
+        )
+        lp = solve_time_indexed_lp(instance)
+        evaluation = evaluate_stretch(lp, num_samples=5, rng=0)
+        for result in evaluation.results:
+            report = check_feasibility(result.schedule)
+            assert report.is_feasible, report.violations

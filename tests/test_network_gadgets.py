@@ -1,0 +1,76 @@
+"""Tests for the switch / I/O-limit gadgets."""
+
+import pytest
+
+from repro.network.gadgets import (
+    inner_node,
+    machine_nodes,
+    retarget_endpoints,
+    switch_fabric_topology,
+    with_io_limits,
+)
+from repro.network.topologies import swan_topology
+
+
+class TestWithIoLimits:
+    def test_adds_gadget_edges(self):
+        base = swan_topology()
+        limited = with_io_limits(base, {"NY": 3.0})
+        assert limited.has_edge(inner_node("NY"), "NY")
+        assert limited.has_edge("NY", inner_node("NY"))
+        assert limited.capacity(inner_node("NY"), "NY") == 3.0
+
+    def test_asymmetric_limits(self):
+        limited = with_io_limits(swan_topology(), {"NY": (4.0, 2.0)})
+        assert limited.capacity(inner_node("NY"), "NY") == 4.0  # egress
+        assert limited.capacity("NY", inner_node("NY")) == 2.0  # ingress
+
+    def test_preserves_original_edges(self):
+        base = swan_topology()
+        limited = with_io_limits(base, {"NY": 1.0})
+        for edge, cap in base.capacities().items():
+            assert limited.capacity(*edge) == cap
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            with_io_limits(swan_topology(), {"Mars": 1.0})
+
+    def test_io_limit_caps_max_flow(self):
+        base = swan_topology()
+        unlimited = base.max_flow_value("NY", "HK")
+        limited = with_io_limits(base, {"NY": 1.0})
+        assert limited.max_flow_value(inner_node("NY"), "HK") <= 1.0 + 1e-9
+        assert unlimited > 1.0
+
+
+class TestRetargetEndpoints:
+    def test_only_limited_nodes_remapped(self):
+        mapping = retarget_endpoints(["NY", "FL"], ["NY"])
+        assert mapping["NY"] == inner_node("NY")
+        assert mapping["FL"] == "FL"
+
+
+class TestSwitchFabric:
+    def test_non_blocking_structure(self):
+        g = switch_fabric_topology(4, ingress_rate=2.0, egress_rate=1.0)
+        assert g.num_nodes == 5
+        assert g.capacity("m1", "fabric") == 1.0
+        assert g.capacity("fabric", "m1") == 2.0
+
+    def test_machine_nodes_helper(self):
+        g = switch_fabric_topology(3)
+        assert machine_nodes(g) == ("m1", "m2", "m3")
+
+    def test_port_rate_limits_max_flow(self):
+        g = switch_fabric_topology(4, ingress_rate=1.0, egress_rate=1.0)
+        assert g.max_flow_value("m1", "m2") == pytest.approx(1.0)
+
+    def test_oversubscribed_core(self):
+        g = switch_fabric_topology(4, fabric_rate=1.5)
+        # Any single transfer is limited by the core, not just the ports.
+        assert g.max_flow_value("m1", "m2") == pytest.approx(1.0)
+        assert g.has_edge("fabric-in", "fabric-out")
+
+    def test_too_few_machines_rejected(self):
+        with pytest.raises(ValueError):
+            switch_fabric_topology(1)

@@ -1,0 +1,131 @@
+"""Tests for the WAN and helper topologies."""
+
+import pytest
+
+from repro.network.topologies import (
+    figure1_topology,
+    gscale_topology,
+    line_topology,
+    named_topology,
+    paper_example_topology,
+    parallel_edges_topology,
+    ring_topology,
+    star_topology,
+    swan_topology,
+)
+
+
+class TestSwan:
+    def test_site_and_link_counts(self):
+        g = swan_topology()
+        assert g.num_nodes == 5
+        # 7 physical links, each modelled as 2 directed edges.
+        assert g.num_edges == 14
+
+    def test_capacity_scale(self):
+        base = swan_topology()
+        scaled = swan_topology(capacity_scale=2.0)
+        for edge in base.edges:
+            assert scaled.capacity(*edge) == pytest.approx(2.0 * base.capacity(*edge))
+
+    def test_all_pairs_connected(self):
+        g = swan_topology()
+        for u in g.nodes:
+            for v in g.nodes:
+                if u != v:
+                    assert g.is_connected(u, v)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            swan_topology(capacity_scale=0.0)
+
+
+class TestGScale:
+    def test_site_and_link_counts(self):
+        g = gscale_topology()
+        assert g.num_nodes == 12
+        assert g.num_edges == 38  # 19 physical links, bidirected
+
+    def test_all_pairs_connected(self):
+        g = gscale_topology()
+        for u in g.nodes:
+            for v in g.nodes:
+                if u != v:
+                    assert g.is_connected(u, v)
+
+
+class TestPaperExample:
+    def test_structure(self):
+        g = paper_example_topology()
+        assert g.num_nodes == 5
+        assert g.num_edges == 12
+        assert g.capacity("s", "v1") == 1.0
+
+    def test_three_disjoint_paths_s_to_t(self):
+        g = paper_example_topology()
+        assert g.max_flow_value("s", "t") == pytest.approx(3.0)
+
+
+class TestFigure1:
+    def test_nodes_and_bandwidths(self):
+        g = figure1_topology()
+        assert set(g.nodes) == {"HK", "LA", "NY", "FL", "BA"}
+        assert g.capacity("NY", "FL") == 6.0
+        assert g.capacity("FL", "NY") == 6.0
+
+    def test_ny_to_ba_capacity_supports_example(self):
+        # The Figure 1 free-path example ships 18 units from NY to BA in 2
+        # time units: direct (5/unit) plus NY->FL->BA (4/unit) = 9 per unit.
+        g = figure1_topology()
+        assert g.max_flow_value("NY", "BA") >= 9.0
+
+
+class TestHelperTopologies:
+    def test_star(self):
+        g = star_topology(4, capacity=2.0)
+        assert g.num_nodes == 5
+        assert g.num_edges == 8
+        assert g.capacity("hub", "h1") == 2.0
+
+    def test_star_rejects_zero_leaves(self):
+        with pytest.raises(ValueError):
+            star_topology(0)
+
+    def test_line(self):
+        g = line_topology(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 6
+        assert g.is_connected("n0", "n3")
+
+    def test_line_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            line_topology(1)
+
+    def test_ring(self):
+        g = ring_topology(5)
+        assert g.num_nodes == 5
+        assert g.num_edges == 10
+        assert g.is_connected("n0", "n3")
+
+    def test_ring_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_parallel_edges(self):
+        g = parallel_edges_topology(3)
+        assert g.num_nodes == 6
+        assert g.num_edges == 3
+        assert not g.is_connected("x1", "y2")
+
+
+class TestNamedTopology:
+    @pytest.mark.parametrize(
+        "name,nodes",
+        [("swan", 5), ("SWAN", 5), ("gscale", 12), ("g-scale", 12), ("paper-example", 5)],
+    )
+    def test_lookup(self, name, nodes):
+        assert named_topology(name).num_nodes == nodes
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            named_topology("fat-tree-9000")

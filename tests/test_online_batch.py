@@ -1,0 +1,148 @@
+"""Tests for the online batching framework and the greedy online baseline."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.network.topologies import parallel_edges_topology, swan_topology
+from repro.online.batch import (
+    _epoch_index,
+    greedy_online_schedule,
+    online_batch_schedule,
+)
+from repro.workloads.generator import random_instance
+
+
+def staggered_instance() -> CoflowInstance:
+    """Three coflows on one unit edge released at t = 0, 1.5 and 3.0."""
+    graph = parallel_edges_topology(1, capacity=1.0)
+
+    def coflow(name, demand, release, weight=1.0):
+        return Coflow(
+            [Flow("x1", "y1", demand, path=("x1", "y1"), release_time=release)],
+            weight=weight,
+            release_time=release,
+            name=name,
+        )
+
+    coflows = [
+        coflow("early", 2.0, 0.0, weight=1.0),
+        coflow("middle", 1.0, 1.5, weight=2.0),
+        coflow("late", 1.0, 3.0, weight=1.0),
+    ]
+    return CoflowInstance(graph, coflows, model="free_path")
+
+
+class TestEpochIndex:
+    def test_epoch_zero_covers_before_one(self):
+        assert _epoch_index(0.0, 2.0) == 0
+        assert _epoch_index(0.99, 2.0) == 0
+
+    def test_doubling_epochs(self):
+        assert _epoch_index(1.0, 2.0) == 1
+        assert _epoch_index(1.9, 2.0) == 1
+        assert _epoch_index(2.0, 2.0) == 2
+        assert _epoch_index(3.9, 2.0) == 2
+        assert _epoch_index(4.0, 2.0) == 3
+
+    def test_other_base(self):
+        assert _epoch_index(8.0, 3.0) == 2
+        assert _epoch_index(9.5, 3.0) == 3
+
+
+class TestOnlineBatchSchedule:
+    def test_completion_after_release_and_epoch_end(self):
+        instance = staggered_instance()
+        result = online_batch_schedule(instance, rng=0)
+        release = instance.release_times
+        assert np.all(result.coflow_completion_times > release)
+        for batch in result.batches:
+            assert batch.start_time >= batch.epoch_end - 1e-9
+
+    def test_batches_do_not_overlap(self):
+        instance = staggered_instance()
+        result = online_batch_schedule(instance, rng=0)
+        ordered = sorted(result.batches, key=lambda b: b.start_time)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.start_time >= earlier.start_time + earlier.makespan - 1e-9
+
+    def test_every_coflow_assigned_to_exactly_one_batch(self):
+        instance = staggered_instance()
+        result = online_batch_schedule(instance, rng=0)
+        assigned = [j for batch in result.batches for j in batch.coflow_indices]
+        assert sorted(assigned) == list(range(instance.num_coflows))
+
+    def test_objective_at_least_offline(self):
+        instance = staggered_instance()
+        offline = solve_time_indexed_lp(instance)
+        offline_objective = lp_heuristic_schedule(offline).weighted_completion_time()
+        online = online_batch_schedule(instance, rng=0)
+        assert online.weighted_completion_time >= offline_objective - 1e-6
+        # The doubling framework is O(1)-competitive; on this tiny instance a
+        # factor of 4 is a generous envelope.
+        assert online.weighted_completion_time <= 4.0 * offline_objective
+
+    def test_all_released_at_zero_gives_single_batch(self):
+        graph = swan_topology()
+        instance = random_instance(
+            graph, num_coflows=3, with_release_times=False, model="free_path", rng=3
+        )
+        result = online_batch_schedule(instance, rng=0)
+        assert result.num_batches == 1
+        assert result.metadata["num_epochs"] == 1
+
+    def test_stretch_offline_algorithm_accepted(self):
+        instance = staggered_instance()
+        result = online_batch_schedule(
+            instance, offline_algorithm="stretch", rng=1
+        )
+        assert result.weighted_completion_time > 0
+
+    def test_invalid_parameters(self):
+        instance = staggered_instance()
+        with pytest.raises(ValueError):
+            online_batch_schedule(instance, base=1.0)
+        with pytest.raises(ValueError):
+            online_batch_schedule(instance, offline_algorithm="magic")
+
+    def test_competitive_ratio_helper(self):
+        instance = staggered_instance()
+        result = online_batch_schedule(instance, rng=0)
+        assert result.competitive_ratio(result.weighted_completion_time) == pytest.approx(1.0)
+        assert result.competitive_ratio(0.0) == float("inf")
+
+    def test_larger_base_waits_longer(self):
+        instance = staggered_instance()
+        fast = online_batch_schedule(instance, base=2.0, rng=0)
+        slow = online_batch_schedule(instance, base=8.0, rng=0)
+        # With base 8 all three releases fall into at most two epochs ending
+        # no earlier than with base 2, so the late coflows cannot finish
+        # earlier than in the base-2 run's last batch start.
+        assert slow.num_batches <= fast.num_batches
+
+
+class TestGreedyOnline:
+    def test_completion_after_release(self):
+        instance = staggered_instance()
+        result = greedy_online_schedule(instance)
+        assert np.all(result.coflow_completion_times >= instance.release_times)
+
+    def test_never_idles_unnecessarily(self):
+        instance = staggered_instance()
+        result = greedy_online_schedule(instance)
+        # Total work is 4 units on a unit edge with last release at 3.0, so
+        # the makespan cannot exceed 5 (work conservation).
+        assert result.makespan <= 5.0 + 1e-6
+
+    def test_batching_vs_greedy_tradeoff(self):
+        instance = staggered_instance()
+        batched = online_batch_schedule(instance, rng=0)
+        greedy = greedy_online_schedule(instance)
+        # The greedy baseline never waits, so on this lightly loaded instance
+        # it is at least as good; the batching framework pays its waiting
+        # cost in exchange for the worst-case guarantee.
+        assert greedy.weighted_completion_time <= batched.weighted_completion_time + 1e-6

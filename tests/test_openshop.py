@@ -1,0 +1,175 @@
+"""Tests for the concurrent open shop substrate and the Section 5 reduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import lp_heuristic_schedule
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.openshop.instance import OpenShopInstance
+from repro.openshop.reduction import (
+    coflow_schedule_to_openshop_times,
+    openshop_objective_bounds,
+    openshop_to_coflow_instance,
+)
+from repro.openshop.schedulers import (
+    brute_force_optimum,
+    list_schedule,
+    lp_order_schedule,
+    wspt_order,
+)
+
+
+@pytest.fixture
+def small_shop() -> OpenShopInstance:
+    processing = np.array(
+        [
+            [2.0, 0.0, 1.0],
+            [1.0, 3.0, 0.0],
+        ]
+    )
+    weights = np.array([2.0, 1.0, 1.0])
+    return OpenShopInstance(processing=processing, weights=weights, name="small")
+
+
+class TestOpenShopInstance:
+    def test_dimensions(self, small_shop):
+        assert small_shop.num_machines == 2
+        assert small_shop.num_jobs == 3
+
+    def test_negative_processing_rejected(self):
+        with pytest.raises(ValueError):
+            OpenShopInstance(processing=np.array([[-1.0]]))
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(ValueError):
+            OpenShopInstance(processing=np.array([[1.0, 0.0], [1.0, 0.0]]))
+
+    def test_default_weights_and_releases(self):
+        shop = OpenShopInstance(processing=np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(shop.weights, 1.0)
+        np.testing.assert_allclose(shop.release_times, 0.0)
+
+    def test_wrong_weight_shape_rejected(self):
+        with pytest.raises(ValueError):
+            OpenShopInstance(
+                processing=np.array([[1.0, 2.0]]), weights=np.array([1.0])
+            )
+
+    def test_machine_load(self, small_shop):
+        np.testing.assert_allclose(small_shop.machine_load(), [3.0, 4.0])
+
+    def test_completion_times_for_order(self, small_shop):
+        completion = small_shop.completion_times_for_order([0, 1, 2])
+        # Machine 0 runs jobs 0 (2) then 2 (1); machine 1 runs 0 (1) then 1 (3).
+        np.testing.assert_allclose(completion, [2.0, 4.0, 3.0])
+
+    def test_completion_times_require_permutation(self, small_shop):
+        with pytest.raises(ValueError):
+            small_shop.completion_times_for_order([0, 0, 1])
+
+    def test_completion_with_release_times(self):
+        shop = OpenShopInstance(
+            processing=np.array([[1.0, 1.0]]),
+            release_times=np.array([0.0, 5.0]),
+        )
+        completion = shop.completion_times_for_order([0, 1])
+        np.testing.assert_allclose(completion, [1.0, 6.0])
+
+    def test_random_instance_valid(self):
+        shop = OpenShopInstance.random(3, 5, np.random.default_rng(0), density=0.6)
+        assert shop.num_machines == 3
+        assert shop.num_jobs == 5
+        assert np.all(shop.processing.sum(axis=0) > 0)
+
+
+class TestSchedulers:
+    def test_wspt_order_is_permutation(self, small_shop):
+        order = wspt_order(small_shop)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_list_schedule_objective(self, small_shop):
+        _, value = list_schedule(small_shop, [0, 1, 2])
+        assert value == pytest.approx(2 * 2.0 + 4.0 + 3.0)
+
+    def test_brute_force_at_most_any_order(self, small_shop):
+        _, best = brute_force_optimum(small_shop)
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2]):
+            _, value = list_schedule(small_shop, order)
+            assert best <= value + 1e-9
+
+    def test_brute_force_limits_size(self):
+        shop = OpenShopInstance(processing=np.ones((1, 10)))
+        with pytest.raises(ValueError):
+            brute_force_optimum(shop)
+
+    def test_lp_order_close_to_optimum(self):
+        rng = np.random.default_rng(4)
+        shop = OpenShopInstance.random(3, 6, rng)
+        _, lp_value = lp_order_schedule(shop)
+        _, opt_value = brute_force_optimum(shop)
+        assert lp_value <= 2.0 * opt_value + 1e-9
+        assert lp_value >= opt_value - 1e-9
+
+    def test_wspt_is_two_approx_single_machine(self):
+        # On a single machine WSPT is optimal; sanity-check the classic result.
+        rng = np.random.default_rng(5)
+        shop = OpenShopInstance.random(1, 7, rng)
+        _, wspt_value = list_schedule(shop, wspt_order(shop))
+        _, opt_value = brute_force_optimum(shop)
+        assert wspt_value == pytest.approx(opt_value, rel=1e-9)
+
+    def test_objective_bounds_bracket_optimum(self, small_shop):
+        lower, upper = openshop_objective_bounds(small_shop)
+        _, opt = brute_force_optimum(small_shop)
+        assert lower <= opt + 1e-9
+        assert opt <= upper + 1e-9
+
+
+class TestReduction:
+    def test_structure_of_reduced_instance(self, small_shop):
+        instance = openshop_to_coflow_instance(small_shop)
+        assert instance.num_coflows == small_shop.num_jobs
+        # Zero processing entries do not create flows.
+        assert instance.num_flows == int(np.count_nonzero(small_shop.processing))
+        assert instance.graph.num_edges == small_shop.num_machines
+        np.testing.assert_allclose(instance.weights, small_shop.weights)
+
+    def test_reduction_preserves_lp_bound_vs_optimum(self, small_shop):
+        """Theorem 5.1: objectives transfer between the two problems."""
+        instance = openshop_to_coflow_instance(small_shop)
+        _, opt = brute_force_optimum(small_shop)
+        lp = solve_time_indexed_lp(instance, num_slots=10)
+        assert lp.objective <= opt + 1e-6
+
+    def test_heuristic_on_reduction_matches_openshop_schedule_quality(
+        self, small_shop
+    ):
+        instance = openshop_to_coflow_instance(small_shop)
+        lp = solve_time_indexed_lp(instance, num_slots=10)
+        schedule = lp_heuristic_schedule(lp)
+        coflow_times = coflow_schedule_to_openshop_times(small_shop, schedule)
+        # The translated completion times define a feasible (fractional,
+        # preemptive) open shop schedule, so the non-preemptive optimum can
+        # not be more than the coflow objective (Theorem 5.1 direction 1) and
+        # the coflow objective cannot beat the LP bound.
+        _, opt = brute_force_optimum(small_shop)
+        coflow_objective = small_shop.weighted_completion_time(coflow_times)
+        assert coflow_objective >= lp.objective - 1e-6
+        assert opt <= coflow_objective + 1e-6
+
+    def test_reduction_rejects_mismatched_schedule(self, small_shop):
+        other_shop = OpenShopInstance(processing=np.array([[1.0, 1.0]]))
+        instance = openshop_to_coflow_instance(other_shop)
+        lp = solve_time_indexed_lp(instance, num_slots=5)
+        schedule = lp_heuristic_schedule(lp)
+        with pytest.raises(ValueError):
+            coflow_schedule_to_openshop_times(small_shop, schedule)
+
+    def test_release_times_carried_over(self):
+        shop = OpenShopInstance(
+            processing=np.array([[1.0, 2.0]]),
+            release_times=np.array([0.0, 3.0]),
+        )
+        instance = openshop_to_coflow_instance(shop)
+        np.testing.assert_allclose(instance.release_times, [0.0, 3.0])
+        np.testing.assert_allclose(instance.flow_release_times(), [0.0, 3.0])

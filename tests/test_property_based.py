@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.lp.model import LinearProgram
+from repro.schedule.compaction import compact_schedule, truncate_completed_flows
+from repro.schedule.timegrid import TimeGrid
+from repro.core.stretch import stretch_fractions
+from repro.utils.rng import sample_lambda
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+fractions_matrix = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 6), st.integers(1, 12)),
+    elements=st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False),
+)
+
+positive_durations = st.lists(
+    st.floats(0.1, 5.0, allow_nan=False, allow_infinity=False), min_size=1, max_size=15
+)
+
+
+def grid_from_durations(durations):
+    return TimeGrid.from_boundaries(np.concatenate([[0.0], np.cumsum(durations)]))
+
+
+# --------------------------------------------------------------------------- #
+# TimeGrid properties
+# --------------------------------------------------------------------------- #
+class TestTimeGridProperties:
+    @given(durations=positive_durations)
+    def test_durations_recovered(self, durations):
+        grid = grid_from_durations(durations)
+        np.testing.assert_allclose(grid.durations, durations)
+        assert grid.horizon == pytest.approx(sum(durations))
+
+    @given(durations=positive_durations, time_fraction=st.floats(0.0, 1.0))
+    def test_slot_containing_brackets_time(self, durations, time_fraction):
+        grid = grid_from_durations(durations)
+        time = time_fraction * grid.horizon
+        slot = grid.slot_containing(time)
+        assert grid.slot_start(slot) - 1e-9 <= time <= grid.slot_end(slot) + 1e-9
+
+    @given(durations=positive_durations, release_fraction=st.floats(0.0, 0.99))
+    def test_release_mask_consistent_with_first_usable_slot(
+        self, durations, release_fraction
+    ):
+        grid = grid_from_durations(durations)
+        release = release_fraction * grid.horizon
+        first = grid.first_usable_slot(release)
+        mask = grid.release_mask(np.array([release]))[0]
+        assert not mask[:first].any()
+        assert mask[first:].all()
+        assert grid.slot_end(first) > release
+
+    @given(
+        num_slots=st.integers(1, 30),
+        slot_length=st.floats(0.1, 10.0, allow_nan=False),
+    )
+    def test_uniform_grid_is_uniform(self, num_slots, slot_length):
+        grid = TimeGrid.uniform(num_slots, slot_length)
+        assert grid.is_uniform
+        assert grid.num_slots == num_slots
+
+    @given(horizon=st.floats(1.5, 1e4), epsilon=st.floats(0.05, 2.0))
+    def test_geometric_grid_covers_horizon(self, horizon, epsilon):
+        grid = TimeGrid.geometric(horizon, epsilon)
+        assert grid.horizon >= horizon - 1e-9
+        # Boundaries grow by a factor (1 + eps), floored at one unit slot.
+        bounds = grid.boundaries
+        for a, b in zip(bounds[1:-1], bounds[2:]):
+            assert b == pytest.approx(max(a * (1 + epsilon), a + 1.0))
+        assert np.all(np.diff(bounds) >= 1.0 - 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# Truncation and stretching properties
+# --------------------------------------------------------------------------- #
+class TestTruncationProperties:
+    @given(fractions=fractions_matrix)
+    def test_truncation_bounds(self, fractions):
+        truncated = truncate_completed_flows(fractions)
+        assert np.all(truncated >= -1e-12)
+        assert np.all(truncated <= fractions + 1e-12)
+        assert np.all(truncated.sum(axis=1) <= 1.0 + 1e-9)
+
+    @given(fractions=fractions_matrix)
+    def test_truncation_clamps_cumulative_at_one(self, fractions):
+        truncated = truncate_completed_flows(fractions)
+        expected = np.minimum(np.cumsum(fractions, axis=1), 1.0)
+        np.testing.assert_allclose(np.cumsum(truncated, axis=1), expected, atol=1e-9)
+
+    @given(fractions=fractions_matrix)
+    def test_truncation_idempotent(self, fractions):
+        once = truncate_completed_flows(fractions)
+        twice = truncate_completed_flows(once)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+class TestStretchProperties:
+    @given(
+        fractions=fractions_matrix,
+        lam=st.floats(0.05, 1.0, exclude_min=False),
+    )
+    @settings(suppress_health_check=[HealthCheck.filter_too_much])
+    def test_stretch_preserves_rate_bound_and_mass(self, fractions, lam):
+        assume(lam > 0.01)
+        # Normalise rows so each flow ships at most its demand in the LP.
+        row_sums = fractions.sum(axis=1, keepdims=True)
+        scaled = fractions / np.maximum(row_sums, 1.0)
+        grid = TimeGrid.uniform(scaled.shape[1])
+        stretched, _, new_grid = stretch_fractions(scaled, grid, lam)
+        # Replaying at the original rates ships 1/lam times the mass.
+        np.testing.assert_allclose(
+            stretched.sum(axis=1), scaled.sum(axis=1) / lam, atol=1e-6, rtol=1e-6
+        )
+        # Per-slot rate never exceeds the LP's maximum per-slot rate.
+        assert stretched.max(initial=0.0) <= scaled.max(initial=0.0) + 1e-9
+        assert new_grid.horizon >= grid.horizon / lam - 1e-9
+
+    @given(lam=st.floats(0.3, 1.0))
+    def test_lambda_one_like_identity_on_unit_grid(self, lam):
+        grid = TimeGrid.uniform(6)
+        fractions = np.full((2, 6), 1.0 / 6.0)
+        stretched, _, _ = stretch_fractions(fractions, grid, lam)
+        # Uniform schedules stay uniform at the same rate after stretching.
+        active = stretched[:, : int(np.floor(6 / lam))]
+        assert np.all(active <= 1.0 / 6.0 + 1e-9)
+
+
+# --------------------------------------------------------------------------- #
+# λ sampling
+# --------------------------------------------------------------------------- #
+class TestLambdaSamplingProperties:
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_sample_in_unit_interval(self, seed):
+        lam = float(sample_lambda(seed))
+        assert 0.0 <= lam <= 1.0
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 50))
+    def test_batch_samples_in_unit_interval(self, seed, n):
+        samples = sample_lambda(seed, size=n)
+        assert samples.shape == (n,)
+        assert np.all((samples >= 0.0) & (samples <= 1.0))
+
+
+# --------------------------------------------------------------------------- #
+# LP builder properties
+# --------------------------------------------------------------------------- #
+class TestLPBuilderProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+    )
+    def test_blocks_partition_variable_space(self, sizes):
+        lp = LinearProgram()
+        blocks = [lp.add_variables(f"b{i}", size) for i, size in enumerate(sizes)]
+        indices = np.concatenate([b.indices() for b in blocks])
+        assert lp.num_variables == sum(sizes)
+        np.testing.assert_array_equal(np.sort(indices), np.arange(sum(sizes)))
+
+    @given(
+        coeffs=st.lists(
+            st.floats(-5.0, 5.0, allow_nan=False), min_size=1, max_size=8
+        ),
+        rhs=st.floats(-10.0, 10.0, allow_nan=False),
+    )
+    def test_ge_constraints_negated_consistently(self, coeffs, rhs):
+        lp = LinearProgram()
+        lp.add_variables("x", len(coeffs))
+        lp.add_constraint(range(len(coeffs)), coeffs, ">=", rhs)
+        _, a_ub, b_ub, _, _, _ = lp.build_matrices()
+        np.testing.assert_allclose(a_ub.toarray()[0], [-c for c in coeffs])
+        np.testing.assert_allclose(b_ub, [-rhs])
+
+
+# --------------------------------------------------------------------------- #
+# Compaction on randomly generated feasible schedules
+# --------------------------------------------------------------------------- #
+class TestCompactionProperties:
+    @given(
+        data=st.data(),
+        num_slots=st.integers(3, 10),
+        num_flows=st.integers(1, 4),
+    )
+    @settings(
+        max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None
+    )
+    def test_compaction_preserves_mass_and_never_hurts(
+        self, data, num_slots, num_flows
+    ):
+        from repro.coflow.coflow import Coflow
+        from repro.coflow.flow import Flow
+        from repro.coflow.instance import CoflowInstance
+        from repro.network.topologies import parallel_edges_topology
+        from repro.schedule.schedule import Schedule
+
+        graph = parallel_edges_topology(num_flows, capacity=1.0)
+        coflows = [
+            Coflow([Flow(f"x{i+1}", f"y{i+1}", 1.0, path=(f"x{i+1}", f"y{i+1}"))])
+            for i in range(num_flows)
+        ]
+        instance = CoflowInstance(graph, coflows, model="single_path")
+        grid = TimeGrid.uniform(num_slots)
+        fractions = np.zeros((num_flows, num_slots))
+        for f in range(num_flows):
+            # Place each flow's unit of demand into <= 3 random slots.
+            k = data.draw(st.integers(1, min(3, num_slots)))
+            slots = data.draw(
+                st.lists(
+                    st.integers(0, num_slots - 1),
+                    min_size=k,
+                    max_size=k,
+                    unique=True,
+                )
+            )
+            fractions[f, slots] = 1.0 / k
+        schedule = Schedule(instance, grid, fractions)
+        compacted = compact_schedule(schedule)
+        np.testing.assert_allclose(
+            compacted.total_fractions(), schedule.total_fractions(), atol=1e-9
+        )
+        assert (
+            compacted.weighted_completion_time()
+            <= schedule.weighted_completion_time() + 1e-9
+        )
+        # Per-slot load still respects the unit capacities.
+        assert compacted.edge_load().max(initial=0.0) <= 1.0 + 1e-9

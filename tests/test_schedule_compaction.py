@@ -1,0 +1,167 @@
+"""Tests for idle-slot compaction and truncation."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.topologies import parallel_edges_topology
+from repro.schedule.compaction import (
+    compact_schedule,
+    compaction_gain,
+    truncate_completed_flows,
+)
+from repro.schedule.feasibility import check_feasibility
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+
+
+class TestTruncation:
+    def test_no_change_when_already_within_demand(self):
+        fractions = np.array([[0.5, 0.5, 0.0]])
+        np.testing.assert_allclose(truncate_completed_flows(fractions), fractions)
+
+    def test_excess_is_cut_at_one(self):
+        fractions = np.array([[0.6, 0.6, 0.6]])
+        truncated = truncate_completed_flows(fractions)
+        np.testing.assert_allclose(truncated, [[0.6, 0.4, 0.0]])
+        assert truncated.sum() == pytest.approx(1.0)
+
+    def test_truncation_never_increases_any_slot(self):
+        rng = np.random.default_rng(0)
+        fractions = rng.uniform(0, 0.5, size=(5, 8))
+        truncated = truncate_completed_flows(fractions)
+        assert np.all(truncated <= fractions + 1e-12)
+
+    def test_rows_sum_to_at_most_one(self):
+        rng = np.random.default_rng(1)
+        fractions = rng.uniform(0, 0.6, size=(6, 10))
+        truncated = truncate_completed_flows(fractions)
+        assert np.all(truncated.sum(axis=1) <= 1.0 + 1e-9)
+
+    def test_rows_that_reach_one_keep_exactly_one(self):
+        fractions = np.array([[0.9, 0.9, 0.0], [0.2, 0.2, 0.2]])
+        truncated = truncate_completed_flows(fractions)
+        assert truncated[0].sum() == pytest.approx(1.0)
+        assert truncated[1].sum() == pytest.approx(0.6)
+
+
+def make_instance(release_b: float = 0.0) -> CoflowInstance:
+    graph = parallel_edges_topology(1, capacity=1.0)
+    coflows = [
+        Coflow([Flow("x1", "y1", 1.0, path=("x1", "y1"))], name="A"),
+        Coflow(
+            [Flow("x1", "y1", 1.0, path=("x1", "y1"), release_time=release_b)],
+            release_time=release_b,
+            name="B",
+        ),
+    ]
+    return CoflowInstance(graph, coflows, model=TransmissionModel.SINGLE_PATH)
+
+
+class TestCompaction:
+    def test_moves_slot_into_earlier_idle_slot(self):
+        instance = make_instance()
+        grid = TimeGrid.uniform(4)
+        fractions = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],  # could run in slot 1
+            ]
+        )
+        schedule = Schedule(instance, grid, fractions)
+        compacted = compact_schedule(schedule)
+        np.testing.assert_allclose(compacted.fractions[1], [0.0, 1.0, 0.0, 0.0])
+        assert compacted.weighted_completion_time() < schedule.weighted_completion_time()
+        assert check_feasibility(compacted).is_feasible
+
+    def test_respects_release_times(self):
+        instance = make_instance(release_b=2.0)
+        grid = TimeGrid.uniform(4)
+        fractions = np.array(
+            [
+                [1.0, 0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        schedule = Schedule(instance, grid, fractions)
+        compacted = compact_schedule(schedule)
+        # Slot 1 starts at time 1 < release 2, so the move must go to slot 2.
+        np.testing.assert_allclose(compacted.fractions[1], [0.0, 0.0, 1.0, 0.0])
+        assert check_feasibility(compacted).is_feasible
+
+    def test_never_increases_objective(self):
+        rng = np.random.default_rng(3)
+        instance = make_instance()
+        grid = TimeGrid.uniform(6)
+        for _ in range(10):
+            fractions = np.zeros((2, 6))
+            for f in range(2):
+                slots = rng.choice(6, size=2, replace=False)
+                fractions[f, slots] = 0.5
+            schedule = Schedule(instance, grid, fractions)
+            compacted = compact_schedule(schedule)
+            assert (
+                compacted.weighted_completion_time()
+                <= schedule.weighted_completion_time() + 1e-9
+            )
+
+    def test_preserves_totals(self):
+        instance = make_instance()
+        grid = TimeGrid.uniform(5)
+        fractions = np.array(
+            [
+                [0.0, 0.5, 0.0, 0.5, 0.0],
+                [0.0, 0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        schedule = Schedule(instance, grid, fractions)
+        compacted = compact_schedule(schedule)
+        np.testing.assert_allclose(
+            compacted.total_fractions(), schedule.total_fractions()
+        )
+
+    def test_no_idle_slots_is_a_no_op(self):
+        instance = make_instance()
+        grid = TimeGrid.uniform(2)
+        fractions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        schedule = Schedule(instance, grid, fractions)
+        compacted = compact_schedule(schedule)
+        np.testing.assert_allclose(compacted.fractions, schedule.fractions)
+
+    def test_moves_edge_fractions_together(self):
+        graph = parallel_edges_topology(1, capacity=1.0)
+        coflows = [Coflow([Flow("x1", "y1", 1.0)], name="A")]
+        instance = CoflowInstance(graph, coflows, model=TransmissionModel.FREE_PATH)
+        grid = TimeGrid.uniform(3)
+        fractions = np.array([[0.0, 0.0, 1.0]])
+        edge_fractions = np.zeros((1, 3, 1))
+        edge_fractions[0, 2, 0] = 1.0
+        schedule = Schedule(instance, grid, fractions, edge_fractions)
+        compacted = compact_schedule(schedule)
+        assert compacted.fractions[0, 0] == pytest.approx(1.0)
+        assert compacted.edge_fractions[0, 0, 0] == pytest.approx(1.0)
+        assert compacted.edge_fractions[0, 2, 0] == pytest.approx(0.0)
+        assert check_feasibility(compacted).is_feasible
+
+    def test_marks_metadata(self):
+        instance = make_instance()
+        schedule = Schedule(instance, TimeGrid.uniform(2), np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert compact_schedule(schedule).metadata["compacted"] is True
+
+    def test_compaction_gain(self):
+        instance = make_instance()
+        grid = TimeGrid.uniform(4)
+        before = Schedule(
+            instance, grid, np.array([[1.0, 0, 0, 0], [0, 0, 0, 1.0]])
+        )
+        after = compact_schedule(before)
+        gain = compaction_gain(before, after)
+        assert 0.0 < gain < 1.0
+
+    def test_compaction_gain_zero_objective(self):
+        instance = make_instance()
+        grid = TimeGrid.uniform(2)
+        empty = Schedule.empty(instance, grid)
+        assert compaction_gain(empty, empty) == 0.0

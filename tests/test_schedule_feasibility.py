@@ -1,0 +1,175 @@
+"""Tests for the schedule feasibility checker."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.topologies import paper_example_topology, parallel_edges_topology
+from repro.schedule.feasibility import check_feasibility
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+
+
+@pytest.fixture
+def single_path_instance() -> CoflowInstance:
+    graph = parallel_edges_topology(1, capacity=2.0)
+    coflows = [
+        Coflow([Flow("x1", "y1", 2.0, path=("x1", "y1"))], name="A"),
+        Coflow(
+            [Flow("x1", "y1", 2.0, path=("x1", "y1"), release_time=1.0)],
+            release_time=1.0,
+            name="B",
+        ),
+    ]
+    return CoflowInstance(graph, coflows, model=TransmissionModel.SINGLE_PATH)
+
+
+def feasible_single_path_schedule(instance) -> Schedule:
+    grid = TimeGrid.uniform(3)
+    fractions = np.array(
+        [
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+        ]
+    )
+    return Schedule(instance, grid, fractions)
+
+
+class TestSinglePathFeasibility:
+    def test_feasible_schedule_passes(self, single_path_instance):
+        report = check_feasibility(feasible_single_path_schedule(single_path_instance))
+        assert report.is_feasible
+        assert not report.violations
+        report.raise_if_infeasible()  # must not raise
+
+    def test_incomplete_schedule_detected(self, single_path_instance):
+        schedule = feasible_single_path_schedule(single_path_instance)
+        schedule.fractions[0, 0] = 0.4
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("ships" in v for v in report.violations)
+        assert report.max_demand_shortfall == pytest.approx(0.6)
+
+    def test_incomplete_allowed_when_not_required(self, single_path_instance):
+        schedule = feasible_single_path_schedule(single_path_instance)
+        schedule.fractions[0, 0] = 0.4
+        report = check_feasibility(schedule, require_complete=False)
+        assert report.is_feasible
+
+    def test_overshoot_detected(self, single_path_instance):
+        schedule = feasible_single_path_schedule(single_path_instance)
+        schedule.fractions[0, 1] = 0.5  # now ships 1.5x its demand
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+
+    def test_negative_fraction_detected(self, single_path_instance):
+        schedule = feasible_single_path_schedule(single_path_instance)
+        schedule.fractions[0, 0] = -0.2
+        schedule.fractions[0, 1] = 1.2
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("negative" in v for v in report.violations)
+
+    def test_release_time_violation_detected(self, single_path_instance):
+        grid = TimeGrid.uniform(3)
+        fractions = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [1.0, 0.0, 0.0],  # coflow B released at t=1 but sends in slot 0
+            ]
+        )
+        schedule = Schedule(single_path_instance, grid, fractions)
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("release" in v for v in report.violations)
+
+    def test_capacity_violation_detected(self, single_path_instance):
+        grid = TimeGrid.uniform(3)
+        fractions = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+            ]
+        )
+        schedule = Schedule(single_path_instance, grid, fractions)
+        # Shrink the edge capacity to force an overload.
+        small_graph = parallel_edges_topology(1, capacity=1.0)
+        small_instance = CoflowInstance(
+            small_graph,
+            single_path_instance.coflows,
+            model=TransmissionModel.SINGLE_PATH,
+        )
+        schedule = Schedule(small_instance, grid, fractions)
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("overloaded" in v for v in report.violations)
+        assert report.max_capacity_excess > 0
+
+    def test_raise_if_infeasible_raises(self, single_path_instance):
+        schedule = feasible_single_path_schedule(single_path_instance)
+        schedule.fractions[:, :] = 0.0
+        report = check_feasibility(schedule)
+        with pytest.raises(ValueError, match="infeasible"):
+            report.raise_if_infeasible()
+
+    def test_bool_conversion(self, single_path_instance):
+        assert bool(check_feasibility(feasible_single_path_schedule(single_path_instance)))
+
+
+class TestFreePathFeasibility:
+    @pytest.fixture
+    def free_instance(self) -> CoflowInstance:
+        graph = paper_example_topology()
+        coflows = [Coflow([Flow("s", "t", 3.0)], name="blue")]
+        return CoflowInstance(graph, coflows, model=TransmissionModel.FREE_PATH)
+
+    def build_schedule(self, instance, *, conserve=True) -> Schedule:
+        grid = TimeGrid.uniform(1)
+        graph = instance.graph
+        edge_index = graph.edge_index()
+        fractions = np.array([[1.0]])
+        edge_fractions = np.zeros((1, 1, graph.num_edges))
+        # Split the flow over the three s->vi->t paths, 1/3 each.
+        for hub in ("v1", "v2", "v3"):
+            edge_fractions[0, 0, edge_index[("s", hub)]] = 1.0 / 3.0
+            if conserve:
+                edge_fractions[0, 0, edge_index[(hub, "t")]] = 1.0 / 3.0
+        return Schedule(instance, grid, fractions, edge_fractions)
+
+    def test_valid_multicommodity_flow_passes(self, free_instance):
+        report = check_feasibility(self.build_schedule(free_instance))
+        assert report.is_feasible, report.violations
+
+    def test_missing_edge_fractions_detected(self, free_instance):
+        grid = TimeGrid.uniform(1)
+        schedule = Schedule(free_instance, grid, np.array([[1.0]]))
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("missing per-edge" in v for v in report.violations)
+
+    def test_conservation_violation_detected(self, free_instance):
+        schedule = self.build_schedule(free_instance, conserve=False)
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert report.max_conservation_error > 0.1
+
+    def test_sink_inflow_mismatch_detected(self, free_instance):
+        schedule = self.build_schedule(free_instance)
+        # Remove part of the flow into the sink.
+        edge_index = free_instance.graph.edge_index()
+        schedule.edge_fractions[0, 0, edge_index[("v1", "t")]] = 0.0
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+
+    def test_capacity_violation_detected(self, free_instance):
+        schedule = self.build_schedule(free_instance)
+        edge_index = free_instance.graph.edge_index()
+        # Push the entire demand (3 units) through one unit-capacity path.
+        schedule.edge_fractions[0, 0, :] = 0.0
+        schedule.edge_fractions[0, 0, edge_index[("s", "v1")]] = 1.0
+        schedule.edge_fractions[0, 0, edge_index[("v1", "t")]] = 1.0
+        report = check_feasibility(schedule)
+        assert not report.is_feasible
+        assert any("overloaded" in v for v in report.violations)

@@ -1,0 +1,104 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.network.topologies import parallel_edges_topology
+from repro.schedule.gantt import render_completion_summary, render_gantt
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+
+
+@pytest.fixture
+def schedule() -> Schedule:
+    graph = parallel_edges_topology(2)
+    coflows = [
+        Coflow(
+            [
+                Flow("x1", "y1", 2.0, path=("x1", "y1"), name="a"),
+                Flow("x2", "y2", 1.0, path=("x2", "y2"), name="b"),
+            ],
+            weight=2.0,
+            name="alpha",
+        ),
+        Coflow([Flow("x1", "y1", 1.0, path=("x1", "y1"), name="c")], name="beta"),
+    ]
+    instance = CoflowInstance(graph, coflows, model="single_path")
+    grid = TimeGrid.uniform(5)
+    fractions = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0, 0.0],
+        ]
+    )
+    return Schedule(instance, grid, fractions)
+
+
+class TestRenderGantt:
+    def test_one_row_per_flow_plus_header_and_footer(self, schedule):
+        text = render_gantt(schedule)
+        lines = text.splitlines()
+        assert len(lines) == 1 + schedule.num_flows + 1
+
+    def test_flow_labels_present(self, schedule):
+        text = render_gantt(schedule)
+        assert "alpha.a (x1->y1)" in text
+        assert "beta.c (x1->y1)" in text
+
+    def test_idle_slots_are_blank(self, schedule):
+        lines = render_gantt(schedule).splitlines()
+        # Flow c transmits only in slot 2.
+        row = next(line for line in lines if "beta.c" in line)
+        body = row.split("|")[1]
+        assert body[2] == "#"
+        assert body[0] == " " and body[1] == " "
+        assert body[3] == " " and body[4] == " "
+
+    def test_full_slots_use_strongest_glyph(self, schedule):
+        lines = render_gantt(schedule).splitlines()
+        row = next(line for line in lines if "alpha.b" in line)
+        assert "#" in row
+
+    def test_per_coflow_aggregation(self, schedule):
+        text = render_gantt(schedule, per_coflow=True)
+        lines = text.splitlines()
+        assert len(lines) == 1 + schedule.instance.num_coflows + 1
+        assert any(line.startswith("alpha") for line in lines)
+        assert any(line.startswith("beta") for line in lines)
+
+    def test_truncation_marker(self, schedule):
+        text = render_gantt(schedule, max_slots=3)
+        row = next(line for line in text.splitlines() if "alpha.a" in line)
+        assert row.endswith(">")
+        assert "slots shown: 3/5" in text
+
+    def test_no_truncation_when_max_none(self, schedule):
+        text = render_gantt(schedule, max_slots=None)
+        assert "slots shown: 5/5" in text
+
+    def test_empty_schedule_renders_blank_rows(self, schedule):
+        empty = Schedule.empty(schedule.instance, schedule.grid)
+        text = render_gantt(empty)
+        rows = [line for line in text.splitlines()[1:-1]]
+        for row in rows:
+            assert set(row.split("|")[1]) <= {" "}
+
+
+class TestCompletionSummary:
+    def test_lists_every_coflow_and_total(self, schedule):
+        text = render_completion_summary(schedule)
+        assert "alpha" in text and "beta" in text
+        assert "total weighted completion time: 7.00" in text
+
+    def test_contributions_sum_to_objective(self, schedule):
+        text = render_completion_summary(schedule)
+        contributions = [
+            float(line.split("contribution")[1]) for line in text.splitlines()[:-1]
+        ]
+        assert sum(contributions) == pytest.approx(
+            schedule.weighted_completion_time()
+        )

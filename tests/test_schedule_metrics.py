@@ -1,0 +1,108 @@
+"""Tests for schedule metrics."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.topologies import parallel_edges_topology
+from repro.schedule.metrics import (
+    average_slowdown,
+    coflow_completion_times,
+    compare_to_lower_bound,
+    completion_time_from_weighted,
+    flow_completion_times,
+    makespan,
+    schedule_stats,
+    total_completion_time,
+    weighted_completion_time,
+)
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+
+
+@pytest.fixture
+def schedule() -> Schedule:
+    graph = parallel_edges_topology(2)
+    coflows = [
+        Coflow([Flow("x1", "y1", 1.0, path=("x1", "y1"))], weight=3.0),
+        Coflow([Flow("x2", "y2", 2.0, path=("x2", "y2"))], weight=1.0),
+    ]
+    instance = CoflowInstance(graph, coflows, model=TransmissionModel.SINGLE_PATH)
+    grid = TimeGrid.uniform(3)
+    fractions = np.array([[1.0, 0.0, 0.0], [0.0, 0.5, 0.5]])
+    return Schedule(instance, grid, fractions)
+
+
+class TestBasicMetrics:
+    def test_flow_completion_times(self, schedule):
+        np.testing.assert_allclose(flow_completion_times(schedule), [1.0, 3.0])
+
+    def test_coflow_completion_times(self, schedule):
+        np.testing.assert_allclose(coflow_completion_times(schedule), [1.0, 3.0])
+
+    def test_weighted_completion_time(self, schedule):
+        assert weighted_completion_time(schedule) == pytest.approx(3.0 + 3.0)
+
+    def test_total_completion_time(self, schedule):
+        assert total_completion_time(schedule) == pytest.approx(4.0)
+
+    def test_makespan(self, schedule):
+        assert makespan(schedule) == pytest.approx(3.0)
+
+
+class TestSlowdown:
+    def test_average_slowdown(self, schedule):
+        baseline = np.array([1.0, 2.0])
+        assert average_slowdown(schedule, baseline) == pytest.approx(
+            (1.0 / 1.0 + 3.0 / 2.0) / 2
+        )
+
+    def test_rejects_wrong_shape(self, schedule):
+        with pytest.raises(ValueError):
+            average_slowdown(schedule, np.array([1.0]))
+
+    def test_rejects_zero_baseline(self, schedule):
+        with pytest.raises(ValueError):
+            average_slowdown(schedule, np.array([0.0, 1.0]))
+
+
+class TestStats:
+    def test_schedule_stats_fields(self, schedule):
+        stats = schedule_stats(schedule)
+        assert stats.weighted_completion_time == pytest.approx(6.0)
+        assert stats.num_coflows == 2
+        assert stats.num_flows == 2
+        assert stats.makespan == pytest.approx(3.0)
+        assert 0.0 <= stats.mean_edge_utilization <= 1.0 + 1e-9
+        assert stats.peak_edge_utilization <= 1.0 + 1e-9
+
+    def test_as_dict_round_trip(self, schedule):
+        d = schedule_stats(schedule).as_dict()
+        assert d["num_slots"] == 3
+        assert "p95_completion_time" in d
+
+
+class TestComparisons:
+    def test_compare_to_lower_bound(self):
+        assert compare_to_lower_bound(10.0, 5.0) == pytest.approx(2.0)
+        assert compare_to_lower_bound(10.0, 0.0) == float("inf")
+
+    def test_completion_time_from_weighted_default_reference(self):
+        ratios = completion_time_from_weighted({"lp": 5.0, "alg": 10.0})
+        assert ratios["lp"] == pytest.approx(1.0)
+        assert ratios["alg"] == pytest.approx(2.0)
+
+    def test_completion_time_from_weighted_explicit_reference(self):
+        ratios = completion_time_from_weighted(
+            {"lp": 5.0, "alg": 10.0}, reference="alg"
+        )
+        assert ratios["lp"] == pytest.approx(0.5)
+
+    def test_completion_time_from_weighted_empty(self):
+        assert completion_time_from_weighted({}) == {}
+
+    def test_completion_time_from_weighted_zero_reference(self):
+        with pytest.raises(ValueError):
+            completion_time_from_weighted({"lp": 0.0, "alg": 1.0}, reference="lp")

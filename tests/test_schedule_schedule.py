@@ -1,0 +1,159 @@
+"""Tests for the Schedule object."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.topologies import parallel_edges_topology
+from repro.schedule.schedule import Schedule
+from repro.schedule.timegrid import TimeGrid
+
+
+@pytest.fixture
+def tiny_instance() -> CoflowInstance:
+    """Two coflows on two disjoint unit edges (single path)."""
+    graph = parallel_edges_topology(2)
+    coflows = [
+        Coflow(
+            [
+                Flow("x1", "y1", 2.0, path=("x1", "y1")),
+                Flow("x2", "y2", 1.0, path=("x2", "y2")),
+            ],
+            weight=2.0,
+        ),
+        Coflow([Flow("x1", "y1", 1.0, path=("x1", "y1"))], weight=1.0),
+    ]
+    return CoflowInstance(graph, coflows, model=TransmissionModel.SINGLE_PATH)
+
+
+@pytest.fixture
+def tiny_schedule(tiny_instance) -> Schedule:
+    grid = TimeGrid.uniform(4)
+    fractions = np.array(
+        [
+            [0.5, 0.5, 0.0, 0.0],  # flow 0 (coflow 0) done by slot 2
+            [1.0, 0.0, 0.0, 0.0],  # flow 1 (coflow 0) done by slot 1
+            [0.0, 0.0, 1.0, 0.0],  # flow 2 (coflow 1) done by slot 3
+        ]
+    )
+    return Schedule(tiny_instance, grid, fractions)
+
+
+class TestConstruction:
+    def test_shape_validation(self, tiny_instance):
+        grid = TimeGrid.uniform(4)
+        with pytest.raises(ValueError, match="shape"):
+            Schedule(tiny_instance, grid, np.zeros((2, 4)))
+
+    def test_edge_fraction_shape_validation(self, tiny_instance):
+        grid = TimeGrid.uniform(4)
+        fractions = np.zeros((3, 4))
+        with pytest.raises(ValueError, match="edge_fractions"):
+            Schedule(tiny_instance, grid, fractions, np.zeros((3, 4, 1)))
+
+    def test_empty_schedule_single_path_has_no_edge_fractions(self, tiny_instance):
+        schedule = Schedule.empty(tiny_instance, TimeGrid.uniform(3))
+        assert not schedule.has_edge_fractions
+        assert schedule.fractions.shape == (3, 3)
+
+    def test_empty_schedule_free_path_has_edge_fractions(self, tiny_instance):
+        free = tiny_instance.with_model("free_path")
+        schedule = Schedule.empty(free, TimeGrid.uniform(3))
+        assert schedule.has_edge_fractions
+        assert schedule.edge_fractions.shape == (3, 3, 2)
+
+    def test_copy_is_deep(self, tiny_schedule):
+        copy = tiny_schedule.copy()
+        copy.fractions[0, 0] = 0.0
+        assert tiny_schedule.fractions[0, 0] == 0.5
+
+
+class TestCompletionTimes:
+    def test_flow_completion_slots(self, tiny_schedule):
+        np.testing.assert_array_equal(
+            tiny_schedule.flow_completion_slots(), [1, 0, 2]
+        )
+
+    def test_flow_completion_times_are_slot_ends(self, tiny_schedule):
+        np.testing.assert_allclose(
+            tiny_schedule.flow_completion_times(), [2.0, 1.0, 3.0]
+        )
+
+    def test_coflow_completion_is_max_over_flows(self, tiny_schedule):
+        np.testing.assert_allclose(
+            tiny_schedule.coflow_completion_times(), [2.0, 3.0]
+        )
+
+    def test_weighted_completion_time(self, tiny_schedule):
+        # 2 * 2.0 + 1 * 3.0
+        assert tiny_schedule.weighted_completion_time() == pytest.approx(7.0)
+
+    def test_total_completion_time(self, tiny_schedule):
+        assert tiny_schedule.total_completion_time() == pytest.approx(5.0)
+
+    def test_makespan(self, tiny_schedule):
+        assert tiny_schedule.makespan() == pytest.approx(3.0)
+
+    def test_flow_never_transmitting_gets_minus_one_slot(self, tiny_instance):
+        schedule = Schedule.empty(tiny_instance, TimeGrid.uniform(2))
+        np.testing.assert_array_equal(schedule.flow_completion_slots(), [-1, -1, -1])
+        np.testing.assert_allclose(schedule.flow_completion_times(), 0.0)
+
+    def test_completion_with_nonunit_slot_length(self, tiny_instance):
+        grid = TimeGrid.uniform(2, slot_length=50.0)
+        fractions = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        schedule = Schedule(tiny_instance, grid, fractions)
+        np.testing.assert_allclose(
+            schedule.coflow_completion_times(), [50.0, 100.0]
+        )
+
+
+class TestCompletenessAndFractions:
+    def test_total_fractions(self, tiny_schedule):
+        np.testing.assert_allclose(tiny_schedule.total_fractions(), 1.0)
+
+    def test_is_complete(self, tiny_schedule, tiny_instance):
+        assert tiny_schedule.is_complete()
+        assert not Schedule.empty(tiny_instance, TimeGrid.uniform(2)).is_complete()
+
+    def test_cumulative_fractions_monotone(self, tiny_schedule):
+        cumulative = tiny_schedule.cumulative_fractions()
+        assert np.all(np.diff(cumulative, axis=1) >= -1e-12)
+        np.testing.assert_allclose(cumulative[:, -1], 1.0)
+
+
+class TestEdgeLoadAndUtilisation:
+    def test_single_path_edge_load(self, tiny_schedule, tiny_instance):
+        load = tiny_schedule.edge_load()
+        edge_index = tiny_instance.graph.edge_index()
+        e1 = edge_index[("x1", "y1")]
+        e2 = edge_index[("x2", "y2")]
+        # Slot 0: flow0 ships 0.5*2=1.0 on e1, flow1 ships 1*1=1 on e2.
+        assert load[0, e1] == pytest.approx(1.0)
+        assert load[0, e2] == pytest.approx(1.0)
+        # Slot 2: flow2 ships 1.0 on e1.
+        assert load[2, e1] == pytest.approx(1.0)
+
+    def test_free_path_edge_load_uses_edge_fractions(self, tiny_instance):
+        free = tiny_instance.with_model("free_path")
+        grid = TimeGrid.uniform(2)
+        fractions = np.zeros((3, 2))
+        fractions[0, 0] = 1.0
+        edge_fractions = np.zeros((3, 2, 2))
+        edge_index = free.graph.edge_index()
+        edge_fractions[0, 0, edge_index[("x1", "y1")]] = 1.0
+        schedule = Schedule(free, grid, fractions, edge_fractions)
+        load = schedule.edge_load()
+        assert load[0, edge_index[("x1", "y1")]] == pytest.approx(2.0)
+
+    def test_utilization_bounded_by_one_for_feasible(self, tiny_schedule):
+        util = tiny_schedule.edge_utilization()
+        assert np.nanmax(util) <= 1.0 + 1e-9
+
+    def test_active_and_idle_slots(self, tiny_schedule):
+        np.testing.assert_array_equal(
+            tiny_schedule.active_slots(), [True, True, True, False]
+        )
+        np.testing.assert_array_equal(tiny_schedule.idle_slots(), [3])

@@ -1,0 +1,153 @@
+"""Tests for TimeGrid (uniform and geometric)."""
+
+import numpy as np
+import pytest
+
+from repro.schedule.timegrid import TimeGrid
+
+
+class TestUniformGrid:
+    def test_basic_properties(self):
+        grid = TimeGrid.uniform(5, 2.0)
+        assert grid.num_slots == 5
+        assert grid.horizon == 10.0
+        assert grid.is_uniform
+        np.testing.assert_allclose(grid.durations, 2.0)
+
+    def test_slot_boundaries(self):
+        grid = TimeGrid.uniform(4)
+        assert grid.slot_start(0) == 0.0
+        assert grid.slot_end(0) == 1.0
+        assert grid.slot_start(3) == 3.0
+        assert grid.slot_end(3) == 4.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            TimeGrid.uniform(0)
+        with pytest.raises(ValueError):
+            TimeGrid.uniform(3, 0.0)
+
+    def test_slot_index_out_of_range(self):
+        grid = TimeGrid.uniform(3)
+        with pytest.raises(IndexError):
+            grid.slot_end(3)
+        with pytest.raises(IndexError):
+            grid.slot_start(-1)
+
+    def test_len_and_iter(self):
+        grid = TimeGrid.uniform(3)
+        assert len(grid) == 3
+        assert list(grid) == [0, 1, 2]
+
+    def test_equality(self):
+        assert TimeGrid.uniform(3) == TimeGrid.uniform(3)
+        assert TimeGrid.uniform(3) != TimeGrid.uniform(4)
+        assert TimeGrid.uniform(3, 1.0) != TimeGrid.uniform(3, 2.0)
+
+
+class TestGeometricGrid:
+    def test_boundaries_follow_paper(self):
+        # tau_0 = 0, tau_1 = 1, then geometric growth with a one-slot floor:
+        # each interval spans at least one unit slot (see TimeGrid.geometric).
+        grid = TimeGrid.geometric(10.0, epsilon=0.5)
+        bounds = grid.boundaries
+        assert bounds[0] == 0.0
+        assert bounds[1] == 1.0
+        np.testing.assert_allclose(bounds[2], 2.0)   # max(1.5, 1 + 1)
+        np.testing.assert_allclose(bounds[3], 3.0)   # max(3.0, 2 + 1)
+        np.testing.assert_allclose(bounds[4], 4.5)   # purely geometric from here
+        assert bounds[-1] >= 10.0
+        assert np.all(np.diff(bounds) >= 1.0 - 1e-12)
+
+    def test_pure_geometric_growth_for_large_epsilon(self):
+        grid = TimeGrid.geometric(20.0, epsilon=1.0)
+        np.testing.assert_allclose(grid.boundaries[:6], [0, 1, 2, 4, 8, 16])
+
+    def test_number_of_slots_is_logarithmic(self):
+        grid = TimeGrid.geometric(1000.0, epsilon=0.5)
+        # ~2 warm-up slots of length 1, then geometric growth.
+        assert grid.num_slots <= 4 + int(np.ceil(np.log(1000.0) / np.log(1.5)))
+
+    def test_not_uniform(self):
+        assert not TimeGrid.geometric(10.0, 0.5).is_uniform
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimeGrid.geometric(0.0, 0.5)
+        with pytest.raises(ValueError):
+            TimeGrid.geometric(10.0, 0.0)
+
+
+class TestCustomGrid:
+    def test_custom_boundaries(self):
+        grid = TimeGrid.from_boundaries([0.0, 1.0, 4.0, 5.0])
+        np.testing.assert_allclose(grid.durations, [1.0, 3.0, 1.0])
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_boundaries([1.0, 2.0])
+
+    def test_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_boundaries([0.0, 2.0, 2.0])
+
+    def test_needs_two_boundaries(self):
+        with pytest.raises(ValueError):
+            TimeGrid.from_boundaries([0.0])
+
+
+class TestSlotContaining:
+    def test_uniform(self):
+        grid = TimeGrid.uniform(4)
+        assert grid.slot_containing(0.0) == 0
+        assert grid.slot_containing(0.5) == 0
+        assert grid.slot_containing(1.0) == 0
+        assert grid.slot_containing(1.5) == 1
+        assert grid.slot_containing(4.0) == 3
+
+    def test_geometric(self):
+        grid = TimeGrid.geometric(10.0, 0.5)
+        assert grid.slot_containing(0.5) == 0
+        assert grid.slot_containing(1.2) == 1
+
+    def test_rejects_out_of_range(self):
+        grid = TimeGrid.uniform(3)
+        with pytest.raises(ValueError):
+            grid.slot_containing(-0.1)
+        with pytest.raises(ValueError):
+            grid.slot_containing(3.5)
+
+
+class TestReleaseSemantics:
+    def test_first_usable_slot(self):
+        grid = TimeGrid.uniform(5)
+        # Released at 0 -> slot 0; released at 1.0 -> slot 1 (slot 0 ends at 1.0).
+        assert grid.first_usable_slot(0.0) == 0
+        assert grid.first_usable_slot(0.99) == 0
+        assert grid.first_usable_slot(1.0) == 1
+        assert grid.first_usable_slot(2.5) == 2
+
+    def test_first_usable_slot_beyond_horizon(self):
+        grid = TimeGrid.uniform(3)
+        with pytest.raises(ValueError):
+            grid.first_usable_slot(3.0)
+        with pytest.raises(ValueError):
+            grid.first_usable_slot(-1.0)
+
+    def test_release_mask_matches_first_usable_slot(self):
+        grid = TimeGrid.uniform(5)
+        releases = np.array([0.0, 1.0, 2.5, 4.9])
+        mask = grid.release_mask(releases)
+        assert mask.shape == (4, 5)
+        for f, release in enumerate(releases):
+            first = grid.first_usable_slot(release)
+            assert not mask[f, :first].any()
+            assert mask[f, first:].all()
+
+    def test_release_mask_geometric(self):
+        grid = TimeGrid.geometric(8.0, 0.5)
+        mask = grid.release_mask(np.array([0.0, 2.0]))
+        # Release at 2.0: the interval ending at 2.25 is the first usable one.
+        first = grid.first_usable_slot(2.0)
+        assert grid.slot_end(first) > 2.0
+        assert not mask[1, :first].any()

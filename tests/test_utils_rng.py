@@ -1,0 +1,106 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    iter_generators,
+    sample_lambda,
+    spawn_rng,
+    stream_seeds,
+)
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).integers(0, 1000, size=5)
+        b = as_generator(7).integers(0, 1000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_existing_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_returns_requested_count(self):
+        children = spawn_rng(3, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(3, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_same_seed(self):
+        a = spawn_rng(11, 3)[2].integers(0, 10**9, size=5)
+        b = spawn_rng(11, 3)[2].integers(0, 10**9, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(1, 0)
+
+    def test_accepts_generator_source(self):
+        children = spawn_rng(np.random.default_rng(5), 2)
+        assert len(children) == 2
+
+
+class TestStreamSeeds:
+    def test_count_and_range(self):
+        seeds = stream_seeds(0, 10)
+        assert len(seeds) == 10
+        assert all(0 <= s < 2**31 for s in seeds)
+
+    def test_deterministic(self):
+        assert stream_seeds(9, 5) == stream_seeds(9, 5)
+
+
+class TestIterGenerators:
+    def test_yields_generators(self):
+        it = iter_generators(3)
+        first = next(it)
+        second = next(it)
+        assert isinstance(first, np.random.Generator)
+        assert isinstance(second, np.random.Generator)
+        assert not np.array_equal(
+            first.integers(0, 10**9, 5), second.integers(0, 10**9, 5)
+        )
+
+
+class TestSampleLambda:
+    """The Stretch λ distribution: density f(v) = 2v on (0, 1)."""
+
+    def test_single_sample_in_unit_interval(self):
+        lam = sample_lambda(0)
+        assert 0.0 <= lam <= 1.0
+
+    def test_array_shape(self):
+        samples = sample_lambda(0, size=100)
+        assert samples.shape == (100,)
+        assert np.all((samples >= 0) & (samples <= 1))
+
+    def test_mean_matches_distribution(self):
+        # E[lambda] = integral of 2v * v dv = 2/3.
+        samples = sample_lambda(123, size=50_000)
+        assert abs(samples.mean() - 2.0 / 3.0) < 0.01
+
+    def test_cdf_matches_v_squared(self):
+        # P[lambda <= 0.5] = 0.25 under f(v) = 2v.
+        samples = sample_lambda(7, size=50_000)
+        assert abs(np.mean(samples <= 0.5) - 0.25) < 0.01
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_allclose(
+            sample_lambda(42, size=10), sample_lambda(42, size=10)
+        )

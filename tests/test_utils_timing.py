@@ -1,0 +1,68 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_measure_accumulates(self):
+        watch = Stopwatch()
+        with watch.measure("work"):
+            time.sleep(0.01)
+        with watch.measure("work"):
+            time.sleep(0.01)
+        assert watch.total("work") >= 0.02
+        assert watch.count("work") == 2
+
+    def test_unknown_bucket_is_zero(self):
+        watch = Stopwatch()
+        assert watch.total("missing") == 0.0
+        assert watch.count("missing") == 0
+
+    def test_as_dict_is_copy(self):
+        watch = Stopwatch()
+        with watch.measure("a"):
+            pass
+        snapshot = watch.as_dict()
+        snapshot["a"] = 999.0
+        assert watch.total("a") != 999.0
+
+    def test_measure_records_on_exception(self):
+        watch = Stopwatch()
+        try:
+            with watch.measure("fails"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.count("fails") == 1
+
+    def test_merge_combines_buckets(self):
+        a, b = Stopwatch(), Stopwatch()
+        with a.measure("x"):
+            pass
+        with b.measure("x"):
+            pass
+        with b.measure("y"):
+            pass
+        a.merge(b)
+        assert a.count("x") == 2
+        assert a.count("y") == 1
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        @timed
+        def add(a, b):
+            return a + b
+
+        result, elapsed = add(2, 3)
+        assert result == 5
+        assert elapsed >= 0.0
+
+    def test_preserves_name(self):
+        @timed
+        def my_function():
+            return None
+
+        assert my_function.__name__ == "my_function"

@@ -1,0 +1,89 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, -1e-9])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError, match="strictly positive"):
+            check_positive(value, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_nonnegative(-0.5, "x")
+
+
+class TestCheckFinite:
+    @pytest.mark.parametrize("value", [float("inf"), float("-inf"), math.nan])
+    def test_rejects_nonfinite(self, value):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(value, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_finite("hello", "x")
+
+    def test_accepts_int(self):
+        assert check_finite(3, "x") == 3.0
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_closed_bounds_inclusive(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert check_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_open_lower_bound_excludes_endpoint(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 1.0, 2.0, low_open=True)
+
+    def test_open_upper_bound_excludes_endpoint(self):
+        with pytest.raises(ValueError):
+            check_in_range(2.0, "x", 1.0, 2.0, high_open=True)
+
+    def test_error_message_mentions_name(self):
+        with pytest.raises(ValueError, match="lam"):
+            check_in_range(5.0, "lam", 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts_instance(self):
+        assert check_type(3, "x", int) == 3
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="str"):
+            check_type(3, "x", str)

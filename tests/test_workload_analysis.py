@@ -1,0 +1,127 @@
+"""Tests for workload analysis statistics."""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.network.topologies import parallel_edges_topology, swan_topology
+from repro.workloads.analysis import (
+    compare_profiles,
+    estimated_network_load,
+    workload_stats,
+)
+from repro.workloads.generator import WorkloadSpec, generate_coflows
+
+
+def small_coflows():
+    return [
+        Coflow([Flow("a", "b", 2.0), Flow("a", "c", 2.0)], weight=3.0, name="wide"),
+        Coflow([Flow("b", "c", 6.0)], release_time=2.0, name="big"),
+        Coflow([Flow("c", "a", 1.0)], release_time=4.0, name="small"),
+    ]
+
+
+class TestWorkloadStats:
+    def test_basic_counts(self):
+        stats = workload_stats(small_coflows())
+        assert stats.num_coflows == 3
+        assert stats.num_flows == 4
+        assert stats.total_demand == pytest.approx(11.0)
+        assert stats.max_coflow_width == 2
+        assert stats.mean_coflow_width == pytest.approx(4 / 3)
+
+    def test_size_statistics(self):
+        stats = workload_stats(small_coflows())
+        assert stats.mean_coflow_size == pytest.approx(11.0 / 3)
+        assert stats.median_coflow_size == pytest.approx(4.0)
+        assert stats.max_coflow_size == pytest.approx(6.0)
+        assert stats.size_coefficient_of_variation > 0
+
+    def test_arrival_statistics(self):
+        stats = workload_stats(small_coflows())
+        assert stats.max_release_time == pytest.approx(4.0)
+        assert stats.mean_interarrival == pytest.approx(2.0)
+
+    def test_weighted_flag(self):
+        stats = workload_stats(small_coflows())
+        assert stats.weighted
+        unweighted = [c.unweighted() for c in small_coflows()]
+        assert not workload_stats(unweighted).weighted
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            workload_stats([])
+
+    def test_as_dict_round_trip(self):
+        d = workload_stats(small_coflows()).as_dict()
+        assert d["num_coflows"] == 3
+        assert "p95_coflow_size" in d
+
+    def test_fb_profile_heavier_tail_than_bigbench(self):
+        graph = swan_topology()
+        fb = generate_coflows(graph, WorkloadSpec("FB", 200, seed=1))
+        bb = generate_coflows(graph, WorkloadSpec("BigBench", 200, seed=1))
+        fb_stats = workload_stats(fb)
+        bb_stats = workload_stats(bb)
+        # The FB trace shape: much larger size variability (heavy tail).
+        assert (
+            fb_stats.size_coefficient_of_variation
+            > bb_stats.size_coefficient_of_variation
+        )
+
+
+class TestEstimatedNetworkLoad:
+    def test_single_edge_fully_loaded(self):
+        graph = parallel_edges_topology(1, capacity=1.0)
+        instance = CoflowInstance(
+            graph,
+            [Coflow([Flow("x1", "y1", 5.0, path=("x1", "y1"))])],
+            model="single_path",
+        )
+        # Horizon of exactly 5 time units -> the edge is 100% loaded.
+        assert estimated_network_load(instance, horizon=5.0) == pytest.approx(1.0)
+        # Twice the horizon halves the load factor.
+        assert estimated_network_load(instance, horizon=10.0) == pytest.approx(0.5)
+
+    def test_default_horizon_caps_load_at_one(self):
+        graph = parallel_edges_topology(2, capacity=2.0)
+        instance = CoflowInstance(
+            graph,
+            [
+                Coflow([Flow("x1", "y1", 4.0, path=("x1", "y1"))]),
+                Coflow([Flow("x2", "y2", 2.0, path=("x2", "y2"))]),
+            ],
+            model="single_path",
+        )
+        load = estimated_network_load(instance)
+        assert 0 < load <= 1.0 + 1e-9
+
+    def test_free_path_uses_shortest_paths(self):
+        graph = swan_topology()
+        instance = CoflowInstance(
+            graph, [Coflow([Flow("NY", "FL", 10.0)])], model="free_path"
+        )
+        load = estimated_network_load(instance, horizon=1.0)
+        assert load == pytest.approx(10.0 / graph.capacity("NY", "FL"))
+
+
+class TestCompareProfiles:
+    def test_normalisation(self):
+        graph = swan_topology()
+        stats = {
+            name: workload_stats(generate_coflows(graph, WorkloadSpec(name, 100, seed=3)))
+            for name in ("FB", "TPC-H")
+        }
+        compared = compare_profiles(stats)
+        assert set(compared) == {"FB", "TPC-H"}
+        for row in compared.values():
+            for value in row.values():
+                assert 0.0 <= value <= 1.0 + 1e-12
+        # TPC-H has the larger mean transfer, FB the larger variability.
+        assert compared["TPC-H"]["mean_coflow_size"] == pytest.approx(1.0)
+        assert compared["FB"]["size_coefficient_of_variation"] == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        assert compare_profiles({}) == {}
