@@ -14,7 +14,7 @@ Run with::
     python examples/mapreduce_shuffle.py
 """
 
-from repro import Coflow, CoflowInstance, Flow, solve_coflow_schedule
+from repro import Coflow, CoflowInstance, Flow, api
 from repro.network.gadgets import machine_nodes, switch_fabric_topology
 
 
@@ -73,11 +73,11 @@ def main():
         ("all weights equal (no prioritisation)", [c.unweighted() for c in instance.coflows]),
     ):
         inst = instance if coflows is None else instance.with_coflows(coflows)
-        outcome = solve_coflow_schedule(inst, algorithm="lp-heuristic", rng=0)
-        times = outcome.schedule.coflow_completion_times()
+        result = api.solve(inst, "lp-heuristic", rng=0)
+        times = result.coflow_completion_times
         print(f"--- {label} ---")
-        print(f"LP lower bound: {outcome.lower_bound:.2f}   "
-              f"weighted completion time: {outcome.objective:.2f}")
+        print(f"LP lower bound: {result.lower_bound:.2f}   "
+              f"weighted completion time: {result.objective:.2f}")
         for coflow, t in zip(inst.coflows, times):
             print(f"  {coflow.name:<18s} weight {coflow.weight:5.1f}  "
                   f"completes at t = {t:g}")

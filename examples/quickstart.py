@@ -10,13 +10,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import (
-    Coflow,
-    CoflowInstance,
-    Flow,
-    paper_example_topology,
-    solve_coflow_schedule,
-)
+from repro import Coflow, CoflowInstance, Flow, api, paper_example_topology
 from repro.schedule import render_gantt
 
 
@@ -35,16 +29,14 @@ def build_coflows():
     ]
 
 
-def report(title, outcome):
+def report(title, result):
     print(f"\n=== {title} ===")
-    print(f"LP lower bound        : {outcome.lower_bound:.3f}")
-    print(f"schedule objective    : {outcome.objective:.3f}")
-    print(f"gap to LP lower bound : {outcome.gap:.3f}x")
-    schedule = outcome.schedule
-    times = schedule.coflow_completion_times()
-    for coflow, time in zip(schedule.instance.coflows, times):
+    print(f"LP lower bound        : {result.lower_bound:.3f}")
+    print(f"schedule objective    : {result.objective:.3f}")
+    print(f"gap to LP lower bound : {result.gap:.3f}x")
+    for coflow, time in zip(result.instance.coflows, result.coflow_completion_times):
         print(f"  coflow {coflow.name:<7s} completes at t = {time:g}")
-    print(render_gantt(schedule, per_coflow=True, max_slots=12))
+    print(render_gantt(result.schedule, per_coflow=True, max_slots=12))
 
 
 def main():
@@ -53,21 +45,21 @@ def main():
 
     # --- single path model: every flow is pinned to its Figure 3 path. ----
     single = CoflowInstance(graph, coflows, model="single_path", name="figure3")
-    outcome_sp = solve_coflow_schedule(single, algorithm="lp-heuristic", num_slots=8)
-    report("Single path model (paper Figure 3, optimum = 7)", outcome_sp)
+    result_sp = api.solve(single, "lp-heuristic", num_slots=8)
+    report("Single path model (paper Figure 3, optimum = 7)", result_sp)
 
     # --- free path model: flows may split over all available paths. -------
     free = CoflowInstance(graph, coflows, model="free_path", name="figure4")
-    outcome_fp = solve_coflow_schedule(free, algorithm="lp-heuristic", num_slots=8)
-    report("Free path model (paper Figure 4, optimum = 5)", outcome_fp)
+    result_fp = api.solve(free, "lp-heuristic", num_slots=8)
+    report("Free path model (paper Figure 4, optimum = 5)", result_fp)
 
     # --- the randomized Stretch algorithm (Theorem 4.4) -------------------
-    outcome_stretch = solve_coflow_schedule(
-        free, algorithm="stretch-average", num_slots=8, rng=0, num_samples=20
+    result_stretch = api.solve(
+        free, "stretch-average", num_slots=8, rng=0, num_samples=20
     )
-    evaluation = outcome_stretch.extras["evaluation"]
+    evaluation = result_stretch.extras["evaluation"]
     print("\n=== Stretch algorithm on the free path instance ===")
-    print(f"LP lower bound                 : {outcome_stretch.lower_bound:.3f}")
+    print(f"LP lower bound                 : {result_stretch.lower_bound:.3f}")
     print(f"average objective over 20 λ    : {evaluation.average_objective:.3f}")
     print(f"best λ objective ({evaluation.best_lambda:.2f})       : {evaluation.best_objective:.3f}")
     print(

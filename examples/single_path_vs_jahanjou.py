@@ -17,8 +17,7 @@ Run with::
 
 import sys
 
-from repro import CoflowScheduler, swan_topology
-from repro.baselines.jahanjou import jahanjou_schedule
+from repro import api, swan_topology
 from repro.workloads import WorkloadSpec, generate_instance
 
 
@@ -37,18 +36,20 @@ def main():
     print(f"instance: {instance}")
     print("every flow pinned to a uniformly random shortest path\n")
 
-    scheduler = CoflowScheduler(instance, rng=0)
-    heuristic = scheduler.heuristic()
-    stretch = scheduler.best_stretch(num_samples=10)
-    jahanjou_opt = jahanjou_schedule(instance)               # epsilon = 0.5436
-    jahanjou_fine = jahanjou_schedule(instance, epsilon=0.2)
+    heuristic = api.solve(instance, "lp-heuristic")
+    stretch = api.solve(
+        instance, "stretch-best", rng=0, num_samples=10,
+        lp_solution=heuristic.lp_solution,
+    )
+    jahanjou_opt = api.solve(instance, "jahanjou")           # epsilon = 0.5436
+    jahanjou_fine = api.solve(instance, "jahanjou", epsilon=0.2)
 
     rows = [
         ("Time indexed LP (lower bound)", heuristic.lower_bound),
         ("LP heuristic (lambda = 1)", heuristic.objective),
         ("Stretch (best of 10 lambdas)", stretch.objective),
-        ("Jahanjou et al. (eps = 0.5436)", jahanjou_opt.weighted_completion_time),
-        ("Jahanjou et al. (eps = 0.2)", jahanjou_fine.weighted_completion_time),
+        ("Jahanjou et al. (eps = 0.5436)", jahanjou_opt.objective),
+        ("Jahanjou et al. (eps = 0.2)", jahanjou_fine.objective),
     ]
     width = max(len(name) for name, _ in rows)
     bound = heuristic.lower_bound

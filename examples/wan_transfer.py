@@ -19,8 +19,7 @@ Run with::
 
 import sys
 
-from repro import CoflowScheduler, swan_topology
-from repro.baselines import fifo_schedule, terra_offline_schedule, weighted_sjf_schedule
+from repro import api, swan_topology
 from repro.workloads import WorkloadSpec, generate_instance
 
 
@@ -41,24 +40,22 @@ def main():
     print(f"total demand: {instance.total_demand():.1f} data units over "
           f"{instance.graph.num_edges} directed WAN links\n")
 
-    scheduler = CoflowScheduler(instance, rng=0)
-    lp_bound = scheduler.lower_bound
-    heuristic = scheduler.heuristic()
-    stretch = scheduler.stretch_evaluation(num_samples=10)
-    terra = terra_offline_schedule(instance)
-    fifo = fifo_schedule(instance)
-    sjf = weighted_sjf_schedule(instance)
+    # One call fans the instance across every algorithm; the uniform-grid LP
+    # is solved once and shared by the LP-based ones.
+    algorithms = ["lp-heuristic", "stretch-average", "terra", "weighted-sjf", "fifo"]
+    reports = api.solve_many(
+        [instance], algorithms, config=api.SolverConfig(rng=0, num_samples=10)
+    )
+    by_algorithm = {r.algorithm: r for r in reports}
+    lp_bound = by_algorithm["lp-heuristic"].lower_bound
 
     rows = [
         ("LP lower bound", lp_bound),
-        ("LP heuristic (lambda = 1)", heuristic.schedule.total_completion_time()),
-        ("Stretch (average lambda)", float(
-            sum(r.schedule.total_completion_time() for r in stretch.results)
-            / stretch.num_samples
-        )),
-        ("Terra (offline SRTF)", terra.total_completion_time),
-        ("Weighted SJF", sjf.total_completion_time),
-        ("FIFO (uncoordinated)", fifo.total_completion_time),
+        ("LP heuristic (lambda = 1)", by_algorithm["lp-heuristic"].objective),
+        ("Stretch (average lambda)", by_algorithm["stretch-average"].objective),
+        ("Terra (offline SRTF)", by_algorithm["terra"].objective),
+        ("Weighted SJF", by_algorithm["weighted-sjf"].objective),
+        ("FIFO (uncoordinated)", by_algorithm["fifo"].objective),
     ]
     width = max(len(name) for name, _ in rows)
     print(f"{'algorithm'.ljust(width)} | total completion time | vs LP bound")
@@ -67,9 +64,13 @@ def main():
         ratio = value / lp_bound if lp_bound > 0 else float("inf")
         print(f"{name.ljust(width)} | {value:21.1f} | {ratio:10.2f}x")
 
-    fifo_ratio = fifo.total_completion_time / lp_bound if lp_bound > 0 else float("inf")
+    fifo_ratio = (
+        by_algorithm["fifo"].objective / lp_bound if lp_bound > 0 else float("inf")
+    )
     heuristic_ratio = (
-        heuristic.schedule.total_completion_time() / lp_bound if lp_bound > 0 else float("inf")
+        by_algorithm["lp-heuristic"].objective / lp_bound
+        if lp_bound > 0
+        else float("inf")
     )
     print(
         f"\nThe LP heuristic sits at {heuristic_ratio:.2f}x the lower bound while "

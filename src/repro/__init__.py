@@ -16,9 +16,14 @@ Core algorithms (the paper's contribution)
     :func:`~repro.core.heuristic.lp_heuristic_schedule` (Section 6.2),
     :class:`~repro.core.scheduler.CoflowScheduler` /
     :func:`~repro.core.scheduler.solve_coflow_schedule` (façade).
+Unified solver API
+    :func:`~repro.api.solve` / :func:`~repro.api.solve_many` dispatch any
+    registered algorithm (core or baseline) and return one common
+    :class:`~repro.api.report.SolveReport`; extend via
+    :func:`~repro.api.register_algorithm` — see :mod:`repro.api`.
 Baselines
     Terra (free path), Jahanjou et al. (single path), greedy heuristics —
-    see :mod:`repro.baselines`.
+    see :mod:`repro.baselines` (all also reachable through ``repro.api``).
 Workloads and experiments
     :mod:`repro.workloads` generates the BigBench / TPC-DS / TPC-H / FB
     style traces; :mod:`repro.experiments` regenerates the paper's figures.
@@ -52,6 +57,16 @@ from repro.core import (
     suggest_horizon,
 )
 from repro.online import online_batch_schedule
+from repro import api
+from repro.api import (
+    SolveReport,
+    SolveRequest,
+    SolverConfig,
+    available_algorithms,
+    register_algorithm,
+    solve,
+    solve_many,
+)
 
 __version__ = "1.0.0"
 
@@ -81,5 +96,13 @@ __all__ = [
     "solve_coflow_schedule",
     "solve_multipath_lp",
     "online_batch_schedule",
+    "api",
+    "SolveReport",
+    "SolveRequest",
+    "SolverConfig",
+    "available_algorithms",
+    "register_algorithm",
+    "solve",
+    "solve_many",
     "__version__",
 ]

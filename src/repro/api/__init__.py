@@ -1,0 +1,57 @@
+"""repro.api — the unified solver API.
+
+One extensible entry point for every algorithm in the repository, core and
+baseline alike::
+
+    from repro import api
+
+    report = api.solve(instance, algorithm="stretch-best", rng=0)
+    print(report.objective, report.lower_bound, report.gap)
+
+    reports = api.solve_many(instances, ["lp-heuristic", "terra", "fifo"],
+                             parallel=4)
+
+Components
+----------
+* :mod:`~repro.api.registry` — pluggable algorithm registry
+  (:func:`register_algorithm`, :func:`available_algorithms`, capability
+  flags such as ``supported_models``).
+* :mod:`~repro.api.request` — :class:`SolverConfig` / :class:`SolveRequest`
+  input objects gathering grid/ε/rng/backend/sampling knobs in one place.
+* :mod:`~repro.api.report` — the common :class:`SolveReport` result type.
+* :mod:`~repro.api.batch` — :func:`solve` and the parallel batch runner
+  :func:`solve_many` with shared-LP reuse across algorithms.
+
+Legacy entry points (:func:`repro.core.scheduler.solve_coflow_schedule`,
+the per-baseline ``*_schedule`` functions) remain available as thin shims.
+"""
+
+from repro.api import algorithms as _algorithms  # noqa: F401 - registers built-ins
+from repro.api.batch import solve, solve_many, solve_request
+from repro.api.registry import (
+    ALL_MODELS,
+    AlgorithmInfo,
+    UnknownAlgorithmError,
+    algorithm_table,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+)
+from repro.api.report import SolveReport
+from repro.api.request import SolveRequest, SolverConfig
+
+__all__ = [
+    "ALL_MODELS",
+    "AlgorithmInfo",
+    "SolveReport",
+    "SolveRequest",
+    "SolverConfig",
+    "UnknownAlgorithmError",
+    "algorithm_table",
+    "available_algorithms",
+    "get_algorithm",
+    "register_algorithm",
+    "solve",
+    "solve_many",
+    "solve_request",
+]

@@ -1,0 +1,160 @@
+"""Pluggable algorithm registry of the unified solver API.
+
+Algorithms register themselves under a stable name with capability flags;
+:func:`repro.api.solve`, the batch runner, the CLI and the experiment harness
+all dispatch through this table, so adding an algorithm in one place makes
+it reachable everywhere::
+
+    @register_algorithm(
+        "my-heuristic",
+        supported_models=(TransmissionModel.FREE_PATH,),
+        description="my custom ordering heuristic",
+    )
+    def _solve_my_heuristic(instance, config, lp_solution=None):
+        ...
+        return SolveReport(...)
+
+Solver callables take ``(instance, config, lp_solution)`` — the third
+argument is a shared uniform-grid LP solution that the batch runner reuses
+across algorithms on the same instance (``None`` when unavailable; solvers
+with ``uses_shared_lp=False`` may ignore it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.core.timeindexed import CoflowLPSolution
+
+from repro.api.report import SolveReport
+from repro.api.request import SolverConfig
+
+#: Signature every registered solver implements.
+SolverFn = Callable[
+    [CoflowInstance, SolverConfig, Optional[CoflowLPSolution]], SolveReport
+]
+
+ALL_MODELS: Tuple[TransmissionModel, ...] = (
+    TransmissionModel.SINGLE_PATH,
+    TransmissionModel.FREE_PATH,
+)
+
+
+class UnknownAlgorithmError(ValueError):
+    """Raised for algorithm names absent from the registry.
+
+    The message lists every registered name so typos are self-diagnosing.
+    """
+
+    def __init__(self, name: str, registered: Iterable[str]) -> None:
+        self.name = name
+        self.registered = tuple(sorted(registered))
+        super().__init__(
+            f"unknown algorithm {name!r}; registered algorithms: "
+            + ", ".join(self.registered)
+        )
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """One registry entry: the solver callable plus its capability flags.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name (what ``solve(..., algorithm=...)`` takes).
+    solver:
+        The callable implementing the algorithm.
+    supported_models:
+        Transmission models the algorithm accepts (Terra is free-path only,
+        Jahanjou et al. single-path only, everything else supports both).
+    uses_shared_lp:
+        Whether the algorithm consumes a shared uniform-grid LP solution —
+        the batch runner solves that LP once per instance and hands it to
+        every such algorithm.
+    randomized:
+        Whether results depend on ``SolverConfig.rng``.
+    description:
+        One-line description (shown by ``available_algorithms`` consumers
+        such as the CLI and the README table).
+    """
+
+    name: str
+    solver: SolverFn
+    supported_models: Tuple[TransmissionModel, ...] = ALL_MODELS
+    uses_shared_lp: bool = False
+    randomized: bool = False
+    description: str = ""
+
+    def supports(self, model: TransmissionModel) -> bool:
+        return model in self.supported_models
+
+    def check_supports(self, model: TransmissionModel) -> None:
+        if not self.supports(model):
+            supported = ", ".join(m.value for m in self.supported_models)
+            raise ValueError(
+                f"algorithm {self.name!r} does not support the {model.value!r} "
+                f"transmission model (supported: {supported})"
+            )
+
+
+_REGISTRY: Dict[str, AlgorithmInfo] = {}
+
+
+def register_algorithm(
+    name: str,
+    *,
+    supported_models: Iterable[TransmissionModel] = ALL_MODELS,
+    uses_shared_lp: bool = False,
+    randomized: bool = False,
+    description: str = "",
+) -> Callable[[SolverFn], SolverFn]:
+    """Decorator registering *solver* under *name*.
+
+    Re-registering an existing name replaces the entry (latest wins), so
+    downstream code can override a built-in algorithm with a tuned variant.
+    """
+
+    def decorator(solver: SolverFn) -> SolverFn:
+        _REGISTRY[name] = AlgorithmInfo(
+            name=name,
+            solver=solver,
+            supported_models=tuple(supported_models),
+            uses_shared_lp=uses_shared_lp,
+            randomized=randomized,
+            description=description,
+        )
+        return solver
+
+    return decorator
+
+
+def get_algorithm(name: str) -> AlgorithmInfo:
+    """The registry entry for *name* (:class:`UnknownAlgorithmError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(name, _REGISTRY) from None
+
+
+def available_algorithms(
+    *, model: Optional[TransmissionModel] = None
+) -> Tuple[str, ...]:
+    """Sorted names of all registered algorithms.
+
+    With *model* given, only algorithms supporting that transmission model
+    are listed.
+    """
+    names = (
+        name
+        for name, info in _REGISTRY.items()
+        if model is None or info.supports(model)
+    )
+    return tuple(sorted(names))
+
+
+def algorithm_table() -> Tuple[AlgorithmInfo, ...]:
+    """All registry entries, sorted by name (for CLIs and docs)."""
+    return tuple(_REGISTRY[name] for name in available_algorithms())

@@ -1,14 +1,21 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Four commands cover the common workflows without writing any Python:
+Six commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
+``algorithms``
+    List every algorithm registered in :mod:`repro.api` with its
+    capability flags.
 ``generate``
     Generate a synthetic benchmark workload and write it to a JSON trace.
 ``solve``
     Load an instance (JSON trace produced by ``generate`` or
-    ``CoflowInstance.save_json``) and schedule it with a chosen algorithm.
+    ``CoflowInstance.save_json``) and schedule it with any registered
+    algorithm.
+``batch``
+    Solve several traces with several algorithms at once, optionally across
+    worker processes (the :func:`repro.api.solve_many` runner).
 ``experiment``
     Run one of the paper-figure experiments and print its table (optionally
     exporting CSV/JSON).
@@ -18,10 +25,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.api import (
+    SolverConfig,
+    algorithm_table,
+    available_algorithms,
+    solve,
+    solve_many,
+)
 from repro.coflow.instance import CoflowInstance
-from repro.core.scheduler import ALGORITHMS, solve_coflow_schedule
 from repro.experiments.export import write_csv, write_json
 from repro.experiments.figures import ALL_EXPERIMENTS, get_experiment
 from repro.experiments.reporting import format_result_table, summarize_shape_checks
@@ -41,6 +54,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("topologies", help="list the built-in topologies")
 
+    sub.add_parser("algorithms", help="list the registered solver algorithms")
+
     gen = sub.add_parser("generate", help="generate a synthetic workload trace")
     gen.add_argument("output", help="path of the JSON trace to write")
     gen.add_argument("--workload", choices=BENCHMARK_NAMES, default="FB")
@@ -51,12 +66,34 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--unweighted", action="store_true")
     gen.add_argument("--seed", type=int, default=2019)
 
-    solve = sub.add_parser("solve", help="schedule an instance from a JSON trace")
-    solve.add_argument("trace", help="instance JSON written by `generate` or save_json")
-    solve.add_argument("--algorithm", choices=ALGORITHMS, default="lp-heuristic")
-    solve.add_argument("--num-samples", type=int, default=10)
-    solve.add_argument("--slot-length", type=float, default=1.0)
-    solve.add_argument("--seed", type=int, default=0)
+    solve_cmd = sub.add_parser("solve", help="schedule an instance from a JSON trace")
+    solve_cmd.add_argument(
+        "trace", help="instance JSON written by `generate` or save_json"
+    )
+    solve_cmd.add_argument(
+        "--algorithm", choices=available_algorithms(), default="lp-heuristic"
+    )
+    solve_cmd.add_argument("--num-samples", type=int, default=10)
+    solve_cmd.add_argument("--slot-length", type=float, default=1.0)
+    solve_cmd.add_argument("--epsilon", type=float, default=None)
+    solve_cmd.add_argument("--solver-method", default="highs")
+    solve_cmd.add_argument("--seed", type=int, default=0)
+
+    batch = sub.add_parser(
+        "batch", help="solve several traces with several algorithms in parallel"
+    )
+    batch.add_argument("traces", nargs="+", help="instance JSON traces")
+    batch.add_argument(
+        "--algorithms",
+        default="lp-heuristic",
+        help="comma-separated registered algorithm names",
+    )
+    batch.add_argument("--parallel", type=int, default=1, help="worker processes")
+    batch.add_argument("--num-samples", type=int, default=10)
+    batch.add_argument("--slot-length", type=float, default=1.0)
+    batch.add_argument("--epsilon", type=float, default=None)
+    batch.add_argument("--solver-method", default="highs")
+    batch.add_argument("--seed", type=int, default=0)
 
     exp = sub.add_parser("experiment", help="run a paper-figure experiment")
     exp.add_argument("experiment_id", choices=sorted(ALL_EXPERIMENTS))
@@ -102,25 +139,81 @@ def _cmd_generate(args, out) -> int:
     return 0
 
 
+def _cmd_algorithms(out) -> int:
+    for info in algorithm_table():
+        models = ",".join(m.value for m in info.supported_models)
+        flags = []
+        if info.uses_shared_lp:
+            flags.append("shared-lp")
+        if info.randomized:
+            flags.append("randomized")
+        rendered_flags = f" [{', '.join(flags)}]" if flags else ""
+        print(f"{info.name:<16s} models={models:<22s}{rendered_flags}", file=out)
+        if info.description:
+            print(f"{'':<16s} {info.description}", file=out)
+    return 0
+
+
 def _cmd_solve(args, out) -> int:
     instance = CoflowInstance.load_json(args.trace)
-    outcome = solve_coflow_schedule(
-        instance,
-        algorithm=args.algorithm,
+    try:
+        report = solve(
+            instance,
+            args.algorithm,
+            slot_length=args.slot_length,
+            epsilon=args.epsilon,
+            rng=args.seed,
+            num_samples=args.num_samples,
+            solver_method=args.solver_method,
+        )
+    except ValueError as exc:  # model mismatch, bad backend, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    bound = "n/a" if report.lower_bound is None else f"{report.lower_bound:.3f}"
+    gap = "n/a" if report.lower_bound is None else f"{report.gap:.3f}x"
+    print(f"instance          : {instance}", file=out)
+    print(f"algorithm         : {report.algorithm}", file=out)
+    print(f"LP lower bound    : {bound}", file=out)
+    print(f"objective         : {report.objective:.3f}", file=out)
+    print(f"gap to bound      : {gap}", file=out)
+    for coflow, time in zip(instance.coflows, report.coflow_completion_times):
+        name = coflow.name or "coflow"
+        print(f"  {name:<20s} weight {coflow.weight:8.2f}  C = {time:g}", file=out)
+    return 0
+
+
+def _cmd_batch(args, out) -> int:
+    algorithms = [name.strip() for name in args.algorithms.split(",") if name.strip()]
+    instances = [CoflowInstance.load_json(path) for path in args.traces]
+    config = SolverConfig(
         slot_length=args.slot_length,
+        epsilon=args.epsilon,
         rng=args.seed,
         num_samples=args.num_samples,
+        solver_method=args.solver_method,
     )
-    print(f"instance          : {instance}", file=out)
-    print(f"algorithm         : {outcome.algorithm}", file=out)
-    print(f"LP lower bound    : {outcome.lower_bound:.3f}", file=out)
-    print(f"objective         : {outcome.objective:.3f}", file=out)
-    print(f"gap to bound      : {outcome.gap:.3f}x", file=out)
-    if outcome.schedule is not None:
-        times = outcome.schedule.coflow_completion_times()
-        for coflow, time in zip(instance.coflows, times):
-            name = coflow.name or "coflow"
-            print(f"  {name:<20s} weight {coflow.weight:8.2f}  C = {time:g}", file=out)
+    try:
+        reports = solve_many(
+            instances, algorithms, config=config, parallel=args.parallel
+        )
+    except ValueError as exc:  # unknown algorithm, model mismatch, ...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = f"{'trace':<28s} {'algorithm':<16s} {'objective':>10s} {'bound':>10s} {'gap':>7s} {'sec':>7s}"
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for i, path in enumerate(args.traces):
+        for k in range(len(algorithms)):
+            report = reports[i * len(algorithms) + k]
+            bound = (
+                "n/a" if report.lower_bound is None else f"{report.lower_bound:.3f}"
+            )
+            gap = "n/a" if report.lower_bound is None else f"{report.gap:.3f}"
+            print(
+                f"{path:<28s} {report.algorithm:<16s} {report.objective:>10.3f} "
+                f"{bound:>10s} {gap:>7s} {report.solve_seconds:>7.3f}",
+                file=out,
+            )
     return 0
 
 
@@ -147,10 +240,14 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(list(argv) if argv is not None else None)
     if args.command == "topologies":
         return _cmd_topologies(out)
+    if args.command == "algorithms":
+        return _cmd_algorithms(out)
     if args.command == "generate":
         return _cmd_generate(args, out)
     if args.command == "solve":
         return _cmd_solve(args, out)
+    if args.command == "batch":
+        return _cmd_batch(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -91,6 +91,11 @@ class CoflowScheduler:
     verify:
         When true (default), every produced schedule is checked for
         feasibility and the report attached to the outcome.
+    solver_method:
+        scipy ``linprog`` backend used for the LP solve.
+    lp_solution:
+        A previously solved LP solution for *instance*, seeding the cache so
+        several algorithms (or several schedulers) can share one LP solve.
     """
 
     def __init__(
@@ -104,7 +109,10 @@ class CoflowScheduler:
         rng: RandomSource = None,
         verify: bool = True,
         solver_method: str = "highs",
+        lp_solution: Optional[CoflowLPSolution] = None,
     ) -> None:
+        if lp_solution is not None and lp_solution.instance is not instance:
+            raise ValueError("lp_solution was computed for a different instance")
         self.instance = instance
         self._grid = grid
         self._num_slots = num_slots
@@ -113,7 +121,7 @@ class CoflowScheduler:
         self._rng = as_generator(rng)
         self._verify = verify
         self._solver_method = solver_method
-        self._lp_solution: Optional[CoflowLPSolution] = None
+        self._lp_solution: Optional[CoflowLPSolution] = lp_solution
 
     # ------------------------------------------------------------------ #
     # LP
@@ -215,8 +223,16 @@ def solve_coflow_schedule(
     compact: bool = True,
     num_samples: int = DEFAULT_NUM_SAMPLES,
     verify: bool = True,
+    solver_method: str = "highs",
 ) -> SchedulingOutcome:
     """One-call entry point: schedule *instance* with the chosen algorithm.
+
+    .. deprecated::
+        This is a thin shim over :func:`repro.api.solve`, kept for backward
+        compatibility; it only reaches the paper's own algorithms.  New code
+        should use :mod:`repro.api`, which also exposes the baselines, the
+        algorithm registry and the parallel batch runner, and returns the
+        unified :class:`~repro.api.report.SolveReport`.
 
     Parameters
     ----------
@@ -227,37 +243,21 @@ def solve_coflow_schedule(
         the returned schedule is the best one).
     Remaining parameters are forwarded to :class:`CoflowScheduler`.
     """
+    from repro.api import SolverConfig, solve
+
     if algorithm not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}"
         )
-    scheduler = CoflowScheduler(
-        instance,
+    config = SolverConfig(
         grid=grid,
         num_slots=num_slots,
         slot_length=slot_length,
         epsilon=epsilon,
         rng=rng,
+        solver_method=solver_method,
+        num_samples=num_samples,
+        compact=compact,
         verify=verify,
     )
-    if algorithm == "lp-heuristic":
-        return scheduler.heuristic(compact=compact)
-    if algorithm == "stretch":
-        return scheduler.stretch(compact=compact)
-    if algorithm == "stretch-best":
-        return scheduler.best_stretch(num_samples=num_samples, compact=compact)
-    # stretch-average
-    evaluation = scheduler.stretch_evaluation(
-        num_samples=num_samples, compact=compact
-    )
-    best = evaluation.best_result
-    outcome = SchedulingOutcome(
-        algorithm="stretch-average",
-        objective=evaluation.average_objective,
-        lower_bound=scheduler.lower_bound,
-        lp_solution=scheduler.solve_lp(),
-        schedule=best.schedule,
-        feasibility=check_feasibility(best.schedule) if verify else None,
-        extras={"evaluation": evaluation, "best_lambda": best.lam},
-    )
-    return outcome
+    return solve(instance, algorithm, config=config).to_outcome()

@@ -30,6 +30,19 @@ SERIES_WSJF = "weighted_sjf"
 SERIES_STRETCH_NO_COMPACTION = "stretch_no_compaction"
 SERIES_SINCRONIA = "sincronia"
 
+#: Series computed by dispatching one registered algorithm through
+#: :func:`repro.api.solve` (the λ-sampling and interval-LP series have
+#: bespoke handling in the runner because several series share one
+#: evaluation / LP solve).
+SERIES_TO_ALGORITHM: Dict[str, str] = {
+    SERIES_HEURISTIC: "lp-heuristic",
+    SERIES_TERRA: "terra",
+    SERIES_JAHANJOU: "jahanjou",
+    SERIES_FIFO: "fifo",
+    SERIES_WSJF: "weighted-sjf",
+    SERIES_SINCRONIA: "sincronia",
+}
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:

@@ -2,9 +2,11 @@
 
 The runner generates one workload instance per (experiment, benchmark) pair
 with a seed derived from the experiment seed, solves the time-indexed LP
-once, and evaluates every requested algorithm series on top of it (the LP
-heuristic and the λ-sampling series reuse the same LP solution, exactly as
-the paper's implementation does).
+once, and evaluates every requested algorithm series on top of it.
+Single-algorithm series dispatch through the unified :mod:`repro.api`
+registry (reusing the shared LP solution wherever it applies); the
+λ-sampling series keep bespoke handling because "Best λ" and "Average λ"
+share one evaluation, exactly as the paper's implementation does.
 """
 
 from __future__ import annotations
@@ -15,11 +17,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.baselines.greedy import fifo_schedule, weighted_sjf_schedule
-from repro.baselines.jahanjou import OPTIMAL_EPSILON, jahanjou_schedule
-from repro.baselines.sincronia import sincronia_schedule
-from repro.baselines.terra import terra_offline_schedule
-from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.api import SolverConfig, solve
+from repro.coflow.instance import CoflowInstance
 from repro.core.heuristic import lp_heuristic_schedule
 from repro.core.stretch import evaluate_stretch
 from repro.core.timeindexed import CoflowLPSolution, solve_time_indexed_lp
@@ -104,13 +103,18 @@ def _evaluate_series(
             if config.weighted
             else float(lp_solution.completion_times.sum())
         )
-    if F.SERIES_HEURISTIC in series:
-        with watch.measure("heuristic"):
-            schedule = lp_heuristic_schedule(lp_solution)
-        out[F.SERIES_HEURISTIC] = _objective(
-            config,
-            schedule.weighted_completion_time(),
-            schedule.total_completion_time(),
+    # Single-algorithm series all dispatch through the unified solver API;
+    # the shared uniform-grid LP solution is reused wherever it applies.
+    solver_config = SolverConfig(verify=False)
+    for series_name, algorithm in F.SERIES_TO_ALGORITHM.items():
+        if series_name not in series:
+            continue
+        with watch.measure(series_name):
+            report = solve(
+                instance, algorithm, config=solver_config, lp_solution=lp_solution
+            )
+        out[series_name] = _objective(
+            config, report.weighted_completion_time, report.total_completion_time
         )
     needs_sampling = series & {F.SERIES_BEST_LAMBDA, F.SERIES_AVERAGE_LAMBDA}
     if needs_sampling:
@@ -144,38 +148,6 @@ def _evaluate_series(
             )
         )
         out[F.SERIES_STRETCH_NO_COMPACTION] = float(objectives.mean())
-    if F.SERIES_TERRA in series:
-        with watch.measure("terra"):
-            terra = terra_offline_schedule(instance)
-        out[F.SERIES_TERRA] = _objective(
-            config, terra.weighted_completion_time, terra.total_completion_time
-        )
-    if F.SERIES_JAHANJOU in series:
-        with watch.measure("jahanjou"):
-            jah = jahanjou_schedule(instance, epsilon=OPTIMAL_EPSILON)
-        out[F.SERIES_JAHANJOU] = _objective(
-            config, jah.weighted_completion_time, jah.total_completion_time
-        )
-    if F.SERIES_FIFO in series:
-        with watch.measure("fifo"):
-            fifo = fifo_schedule(instance)
-        out[F.SERIES_FIFO] = _objective(
-            config, fifo.weighted_completion_time, fifo.total_completion_time
-        )
-    if F.SERIES_WSJF in series:
-        with watch.measure("weighted_sjf"):
-            wsjf = weighted_sjf_schedule(instance)
-        out[F.SERIES_WSJF] = _objective(
-            config, wsjf.weighted_completion_time, wsjf.total_completion_time
-        )
-    if F.SERIES_SINCRONIA in series:
-        with watch.measure("sincronia"):
-            sincronia = sincronia_schedule(instance)
-        out[F.SERIES_SINCRONIA] = _objective(
-            config,
-            sincronia.weighted_completion_time,
-            sincronia.total_completion_time,
-        )
     needs_interval = series & {
         F.SERIES_INTERVAL_LP_BOUND,
         F.SERIES_INTERVAL_HEURISTIC,

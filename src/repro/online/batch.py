@@ -30,14 +30,17 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api import SolverConfig, get_algorithm, solve
 from repro.coflow.instance import CoflowInstance
-from repro.core.scheduler import solve_coflow_schedule
 from repro.sim.simulator import simulate_priority_schedule, static_order_priority
 from repro.sim.rate_allocation import coflow_standalone_time
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive
 
-#: Offline algorithms the batching framework can delegate to.
+#: The offline algorithms the framework's guarantees are stated for.  Any
+#: algorithm registered in :mod:`repro.api` (and supporting the instance's
+#: transmission model) is accepted; delegating to a baseline yields an
+#: online variant of that baseline instead of the paper's guarantee.
 OFFLINE_ALGORITHMS = ("lp-heuristic", "stretch", "stretch-best")
 
 
@@ -51,7 +54,9 @@ class BatchRecord:
     makespan: float
     coflow_indices: List[int] = field(default_factory=list)
     offline_objective: float = 0.0
-    lp_lower_bound: float = 0.0
+    #: LP lower bound of the batch sub-problem; ``None`` when the delegated
+    #: offline algorithm solves no LP (e.g. a greedy baseline).
+    lp_lower_bound: Optional[float] = None
 
 
 @dataclass
@@ -125,8 +130,9 @@ def online_batch_schedule(
     base:
         Epoch growth factor (``2`` = doubling).  Must be > 1.
     offline_algorithm:
-        Which offline algorithm schedules each batch (``"lp-heuristic"``,
-        ``"stretch"``, or ``"stretch-best"``).
+        Which offline algorithm schedules each batch — any name registered
+        in :mod:`repro.api` (``"lp-heuristic"``, ``"stretch"`` and
+        ``"stretch-best"`` carry the paper's approximation guarantee).
     slot_length:
         Slot length of the per-batch time-indexed LPs.
     rng:
@@ -135,11 +141,9 @@ def online_batch_schedule(
         Whether the per-batch schedules are feasibility-checked.
     """
     check_positive(base - 1.0, "base - 1")
-    if offline_algorithm not in OFFLINE_ALGORITHMS:
-        raise ValueError(
-            f"unknown offline algorithm {offline_algorithm!r}; expected one of "
-            f"{OFFLINE_ALGORITHMS}"
-        )
+    info = get_algorithm(offline_algorithm)
+    info.check_supports(instance.model)
+    offline_config = SolverConfig(slot_length=slot_length, rng=rng, verify=verify)
 
     release = instance.release_times
     epochs: Dict[int, List[int]] = {}
@@ -167,14 +171,8 @@ def online_batch_schedule(
             model=instance.model,
             name=f"{instance.name}-epoch{epoch}",
         )
-        outcome = solve_coflow_schedule(
-            batch_instance,
-            algorithm=offline_algorithm,
-            slot_length=slot_length,
-            rng=rng,
-            verify=verify,
-        )
-        batch_times = outcome.schedule.coflow_completion_times()
+        report = solve(batch_instance, offline_algorithm, config=offline_config)
+        batch_times = report.coflow_completion_times
         for local_j, j in enumerate(members):
             completion[j] = batch_start + float(batch_times[local_j])
         makespan = float(batch_times.max(initial=0.0))
@@ -185,8 +183,8 @@ def online_batch_schedule(
                 start_time=batch_start,
                 makespan=makespan,
                 coflow_indices=list(members),
-                offline_objective=outcome.objective,
-                lp_lower_bound=outcome.lower_bound,
+                offline_objective=report.objective,
+                lp_lower_bound=report.lower_bound,
             )
         )
         current_time = batch_start + makespan

@@ -1,0 +1,132 @@
+"""Tests for the repro.api batch runner (solve_many) and its parallel path."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import SolverConfig, UnknownAlgorithmError, solve_many
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.network.topologies import paper_example_topology
+
+ALGORITHMS = ("lp-heuristic", "stretch-best", "fifo")
+
+
+def make_instances(count: int) -> list:
+    """*count* small free-path instances with varying demands."""
+    graph = paper_example_topology()
+    instances = []
+    for k in range(count):
+        coflows = [
+            Coflow([Flow("v1", "t", 1.0 + 0.25 * k)], name="a", weight=1.0),
+            Coflow([Flow("v2", "t", 1.0)], name="b", weight=2.0),
+            Coflow([Flow("s", "t", 2.0 + 0.5 * (k % 3))], name="c", weight=1.0),
+        ]
+        instances.append(
+            CoflowInstance(graph, coflows, model="free_path", name=f"batch-{k}")
+        )
+    return instances
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return make_instances(8)
+
+
+@pytest.fixture(scope="module")
+def serial_reports(instances):
+    return solve_many(
+        instances, ALGORITHMS, config=SolverConfig(rng=5, num_samples=3)
+    )
+
+
+class TestSolveManySerial:
+    def test_count_and_order(self, instances, serial_reports):
+        assert len(serial_reports) == len(instances) * len(ALGORITHMS)
+        for i, instance in enumerate(instances):
+            for k, algorithm in enumerate(ALGORITHMS):
+                report = serial_reports[i * len(ALGORITHMS) + k]
+                assert report.instance.name == instance.name
+                assert report.algorithm == algorithm
+
+    def test_objectives_match_single_solves(self, instances, serial_reports):
+        # Deterministic algorithms must agree with one-off api.solve calls.
+        for i, instance in enumerate(instances):
+            report = serial_reports[i * len(ALGORITHMS)]
+            single = api.solve(instance, "lp-heuristic")
+            assert report.objective == pytest.approx(single.objective, rel=1e-9)
+            fifo = serial_reports[i * len(ALGORITHMS) + 2]
+            assert fifo.objective == pytest.approx(
+                api.solve(instance, "fifo").objective, rel=1e-9
+            )
+
+    def test_shared_lp_attached_to_all_reports(self, serial_reports):
+        for i in range(0, len(serial_reports), len(ALGORITHMS)):
+            group = serial_reports[i : i + len(ALGORITHMS)]
+            lp = group[0].lp_solution
+            assert lp is not None
+            # stretch-best reuses the exact same LP solve; fifo inherits the
+            # bound from it.
+            assert group[1].lp_solution is lp
+            assert group[2].lower_bound == pytest.approx(lp.objective)
+
+    def test_reports_feasible_with_correct_objectives(self, serial_reports):
+        for report in serial_reports:
+            assert report.is_feasible
+            assert report.objective == pytest.approx(
+                float(
+                    np.dot(
+                        report.instance.weights, report.coflow_completion_times
+                    )
+                ),
+                rel=1e-9,
+            )
+            if api.get_algorithm(report.algorithm).uses_shared_lp:
+                # Grid-based algorithms can never beat the LP relaxation
+                # (continuous-time baselines can, at coarse slot granularity).
+                assert report.objective >= report.lower_bound - 1e-6
+
+
+class TestSolveManyParallel:
+    def test_parallel_matches_serial(self, instances, serial_reports):
+        parallel_reports = solve_many(
+            instances,
+            ALGORITHMS,
+            config=SolverConfig(rng=5, num_samples=3),
+            parallel=4,
+        )
+        assert len(parallel_reports) == 24
+        for serial, parallel in zip(serial_reports, parallel_reports):
+            assert parallel.algorithm == serial.algorithm
+            assert parallel.instance.name == serial.instance.name
+            # Identical including the randomized stretch-best series: the
+            # per-instance child generators are derived deterministically.
+            assert parallel.objective == pytest.approx(serial.objective, rel=1e-9)
+            np.testing.assert_allclose(
+                parallel.coflow_completion_times,
+                serial.coflow_completion_times,
+                rtol=1e-9,
+            )
+
+
+class TestSolveManyValidation:
+    def test_unknown_algorithm_fails_fast(self, instances):
+        with pytest.raises(UnknownAlgorithmError, match="registered algorithms"):
+            solve_many(instances[:2], ["lp-heuristic", "nope"])
+
+    def test_model_mismatch_fails_fast(self, instances):
+        with pytest.raises(ValueError, match="does not support"):
+            solve_many(instances[:2], ["jahanjou"])
+
+    def test_empty_algorithms_rejected(self, instances):
+        with pytest.raises(ValueError, match="at least one"):
+            solve_many(instances[:2], [])
+
+    def test_single_algorithm_as_string(self, instances):
+        reports = solve_many(instances[:2], "fifo")
+        assert [r.algorithm for r in reports] == ["fifo", "fifo"]
+
+    def test_share_lp_disabled(self, instances):
+        reports = solve_many(instances[:1], ["fifo"], share_lp=False)
+        assert reports[0].lower_bound is None
