@@ -1,0 +1,28 @@
+"""Standalone entry point for the performance harness.
+
+Thin wrapper over :mod:`repro.perf.harness` so the harness can be run
+directly from a checkout without installing the package:
+
+    python benchmarks/harness.py --quick
+
+The same harness backs the ``repro bench`` CLI command; see the module
+docstring of :mod:`repro.perf.harness` for the scenario list and the
+``BENCH_<date>.json`` schema.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    from repro.cli import main as cli_main
+
+    return cli_main(["bench", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,21 @@ instances across a set of algorithms — optionally over a
 uniform-grid LP at most once per instance and handing it to every algorithm
 that consumes it (exactly the reuse the paper's own evaluation performs when
 comparing the LP heuristic against the λ-sampling series).
+
+The shared solution is keyed on the *grid it was actually built on*:
+:class:`~repro.core.scheduler.CoflowScheduler` only reuses it when an
+algorithm's own grid parameters resolve to the same grid, and logs a debug
+line when reuse is skipped (e.g. requests that differ only in ``epsilon``).
+Each instance batch additionally runs under an
+:class:`~repro.lp.solver.LPSolveCache`, so any algorithm that re-solves a
+program identical to one already solved in the batch (Jahanjou's interval
+LP, a mismatched-grid re-solve requested twice, ...) gets the memoized
+solution instead of a second HiGHS run.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 import warnings
@@ -19,11 +30,14 @@ from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.coflow.instance import CoflowInstance
 from repro.core.timeindexed import CoflowLPSolution, solve_time_indexed_lp
+from repro.lp.solver import solver_cache
 
 from repro.api.algorithms import BUILTIN_ALGORITHMS
 from repro.api.registry import get_algorithm
 from repro.api.report import SolveReport
 from repro.api.request import SolveRequest, SolverConfig
+
+logger = logging.getLogger(__name__)
 
 
 def solve(
@@ -83,20 +97,28 @@ def _solve_instance_batch(
     """
     instance, algorithms, config, share_lp = task
     infos = [get_algorithm(name) for name in algorithms]
-    shared: Optional[CoflowLPSolution] = None
-    if share_lp and any(info.uses_shared_lp for info in infos):
-        shared = solve_time_indexed_lp(
-            instance,
-            grid=config.grid,
-            num_slots=config.num_slots,
-            slot_length=config.slot_length,
-            epsilon=config.epsilon,
-            solver_method=config.solver_method,
-        )
-    return [
-        solve(instance, info.name, config=config, lp_solution=shared)
-        for info in infos
-    ]
+    with solver_cache() as cache:
+        shared: Optional[CoflowLPSolution] = None
+        if share_lp and any(info.uses_shared_lp for info in infos):
+            shared = solve_time_indexed_lp(
+                instance,
+                grid=config.grid,
+                num_slots=config.num_slots,
+                slot_length=config.slot_length,
+                epsilon=config.epsilon,
+                solver_method=config.solver_method,
+            )
+        reports = [
+            solve(instance, info.name, config=config, lp_solution=shared)
+            for info in infos
+        ]
+        if cache.hits:
+            logger.debug(
+                "solver warm-start cache for instance %r: %s",
+                instance.name,
+                cache.stats(),
+            )
+    return reports
 
 
 def solve_many(

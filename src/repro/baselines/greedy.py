@@ -16,16 +16,14 @@ benchmarks, and (c) exercise for the continuous-time simulator substrate.
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 import numpy as np
 
 from repro.baselines.result import BaselineResult
 from repro.coflow.instance import CoflowInstance
 from repro.sim.rate_allocation import coflow_standalone_time
 from repro.sim.simulator import (
-    FlowState,
     fifo_priority,
+    remaining_fraction_priority,
     simulate_priority_schedule,
     static_order_priority,
 )
@@ -67,6 +65,13 @@ def weighted_sjf_schedule(instance: CoflowInstance) -> BaselineResult:
     )
 
 
+def sebf_priority_fn(instance: CoflowInstance, standalone: np.ndarray):
+    """SEBF's dynamic priority as an array-based function (simulator hot path)."""
+    return remaining_fraction_priority(
+        instance, standalone, standalone_tiebreak=False
+    )
+
+
 def sebf_schedule(instance: CoflowInstance) -> BaselineResult:
     """Smallest effective bottleneck first (Varys-style, weight-agnostic).
 
@@ -76,23 +81,7 @@ def sebf_schedule(instance: CoflowInstance) -> BaselineResult:
     first as coflows drain.
     """
     standalone = _standalone_times(instance)
-
-    def priority(
-        time: float, flow_states: Sequence[FlowState], inst: CoflowInstance
-    ) -> List[int]:
-        total = np.zeros(inst.num_coflows, dtype=float)
-        left = np.zeros(inst.num_coflows, dtype=float)
-        for state in flow_states:
-            total[state.coflow_index] += state.demand
-            left[state.coflow_index] += max(state.remaining, 0.0)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            fraction = np.where(total > 0, left / total, 0.0)
-        remaining_time = fraction * standalone
-        return sorted(
-            range(inst.num_coflows), key=lambda j: (remaining_time[j], j)
-        )
-
-    sim = simulate_priority_schedule(instance, priority)
+    sim = simulate_priority_schedule(instance, sebf_priority_fn(instance, standalone))
     return BaselineResult(
         algorithm="sebf",
         instance=instance,

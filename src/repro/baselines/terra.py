@@ -27,14 +27,15 @@ ignores the weights when ordering, as Terra would.
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 import numpy as np
 
 from repro.baselines.result import BaselineResult
 from repro.coflow.instance import CoflowInstance, TransmissionModel
 from repro.sim.rate_allocation import RATE_TOL, coflow_standalone_time
-from repro.sim.simulator import FlowState, simulate_priority_schedule
+from repro.sim.simulator import (
+    remaining_fraction_priority,
+    simulate_priority_schedule,
+)
 
 
 def standalone_completion_times(instance: CoflowInstance) -> np.ndarray:
@@ -48,18 +49,18 @@ def standalone_completion_times(instance: CoflowInstance) -> np.ndarray:
     )
 
 
-def _remaining_fraction(
-    flow_states: Sequence[FlowState], num_coflows: int
-) -> np.ndarray:
-    """Per-coflow fraction of demand still outstanding (1 = untouched)."""
-    total = np.zeros(num_coflows, dtype=float)
-    left = np.zeros(num_coflows, dtype=float)
-    for state in flow_states:
-        total[state.coflow_index] += state.demand
-        left[state.coflow_index] += max(state.remaining, 0.0)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        fraction = np.where(total > 0, left / total, 0.0)
-    return fraction
+def srtf_priority_fn(instance: CoflowInstance, standalone: np.ndarray):
+    """Terra's SRTF priority as an array-based function (simulator hot path).
+
+    Remaining standalone time scales with the remaining demand fraction:
+    the max-concurrent-flow structure of a coflow does not change as it
+    shrinks uniformly, so ``remaining_time = fraction * standalone_time``.
+    (Non-uniform progress makes this an estimate — exactly the estimate
+    Terra's SRTF step uses between its re-optimisation rounds.)
+    """
+    return remaining_fraction_priority(
+        instance, standalone, standalone_tiebreak=True
+    )
 
 
 def terra_offline_schedule(
@@ -81,25 +82,8 @@ def terra_offline_schedule(
             "the instance with instance.with_model('free_path')"
         )
     standalone = standalone_completion_times(instance)
-
-    def srtf_priority(
-        time: float, flow_states: Sequence[FlowState], inst: CoflowInstance
-    ) -> List[int]:
-        # Remaining standalone time scales with the remaining demand fraction:
-        # the max-concurrent-flow structure of a coflow does not change as it
-        # shrinks uniformly, so remaining_time = fraction * standalone_time.
-        # (Non-uniform progress makes this an estimate — exactly the estimate
-        # Terra's SRTF step uses between its re-optimisation rounds.)
-        fraction = _remaining_fraction(flow_states, inst.num_coflows)
-        remaining_time = fraction * standalone
-        order = sorted(
-            range(inst.num_coflows),
-            key=lambda j: (remaining_time[j], standalone[j], j),
-        )
-        return order
-
     sim = simulate_priority_schedule(
-        instance, srtf_priority, record_timeline=record_timeline
+        instance, srtf_priority_fn(instance, standalone), record_timeline=record_timeline
     )
     return BaselineResult(
         algorithm="terra",

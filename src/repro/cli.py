@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Six commands cover the common workflows without writing any Python:
+Seven commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -19,6 +19,11 @@ Six commands cover the common workflows without writing any Python:
 ``experiment``
     Run one of the paper-figure experiments and print its table (optionally
     exporting CSV/JSON).
+``bench``
+    Run the performance harness (:mod:`repro.perf.harness`): vectorized LP
+    assembly and the incremental simulator against their preserved
+    pre-optimization references, written to ``BENCH_<date>.json`` and
+    compared against the previous report.
 """
 
 from __future__ import annotations
@@ -100,6 +105,30 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=1.0)
     exp.add_argument("--csv", help="optional CSV output path")
     exp.add_argument("--json", help="optional JSON output path")
+
+    bench = sub.add_parser(
+        "bench", help="run the performance harness and write BENCH_<date>.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller workloads, fewer repeats"
+    )
+    bench.add_argument(
+        "--output", default=".", help="directory for BENCH_<date>.json (default: .)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=None, help="override best-of repeat count"
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        help="run only this scenario (repeatable); default: all",
+    )
+    bench.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the comparison against the previous BENCH_*.json",
+    )
 
     return parser
 
@@ -234,6 +263,45 @@ def _cmd_experiment(args, out) -> int:
     return 0 if all(checks.values()) else 1
 
 
+def _cmd_bench(args, out) -> int:
+    import json
+
+    from repro.perf.harness import (
+        compare_reports,
+        find_previous_report,
+        format_report,
+        run_bench,
+        write_report,
+    )
+
+    try:
+        report = run_bench(
+            quick=args.quick, repeats=args.repeats, scenarios=args.scenarios
+        )
+    except ValueError as exc:  # unknown scenario name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.no_compare:
+        previous_path = find_previous_report(args.output)
+        if previous_path is not None:
+            try:
+                previous = json.loads(previous_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                print(
+                    f"warning: skipping comparison, could not read "
+                    f"{previous_path.name}: {exc}",
+                    file=sys.stderr,
+                )
+            else:
+                comparison = compare_reports(previous, report)
+                comparison["previous"] = previous_path.name
+                report["comparison"] = comparison
+    path = write_report(report, args.output)
+    print(format_report(report), file=out)
+    print(f"wrote {path}", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -250,6 +318,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_batch(args, out)
     if args.command == "experiment":
         return _cmd_experiment(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

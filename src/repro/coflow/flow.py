@@ -76,6 +76,10 @@ class Flow:
     def path_edges(self) -> Tuple[Tuple[str, str], ...]:
         """The directed edges traversed by the pinned path.
 
+        The tuple is computed once and cached on the (immutable) flow, so LP
+        builders and simulators may call this in hot loops without
+        re-materializing it.
+
         Raises
         ------
         ValueError
@@ -83,7 +87,11 @@ class Flow:
         """
         if self.path is None:
             raise ValueError("flow has no pinned path")
-        return tuple(zip(self.path[:-1], self.path[1:]))
+        cached = self.__dict__.get("_path_edges_cache")
+        if cached is None:
+            cached = tuple(zip(self.path[:-1], self.path[1:]))
+            object.__setattr__(self, "_path_edges_cache", cached)
+        return cached
 
     def with_path(self, path: Tuple[str, ...]) -> "Flow":
         """Return a copy of this flow pinned to *path*."""

@@ -110,8 +110,31 @@ class CoflowInstance:
         if not self._coflows:
             raise ValueError("an instance must contain at least one coflow")
         self._flow_refs: Tuple[FlowRef, ...] = self._build_flow_refs()
+        buckets: List[List[FlowRef]] = [[] for _ in self._coflows]
+        for ref in self._flow_refs:
+            buckets[ref.coflow_index].append(ref)
+        self._flows_by_coflow: Tuple[Tuple[FlowRef, ...], ...] = tuple(
+            tuple(bucket) for bucket in buckets
+        )
+        # Lazily computed, cached numpy views (see _frozen_array).
+        self._array_cache: Dict[str, np.ndarray] = {}
+        self._path_incidence_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         if validate:
             self.validate()
+
+    def _frozen_array(self, key: str, build) -> np.ndarray:
+        """Build-once cache for derived arrays, returned read-only.
+
+        The arrays are shared between callers (LP builders, simulators,
+        baselines), so they are marked non-writeable; callers that need a
+        mutable copy must copy explicitly.
+        """
+        cached = self._array_cache.get(key)
+        if cached is None:
+            cached = np.asarray(build())
+            cached.setflags(write=False)
+            self._array_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ #
     # basic accessors
@@ -143,13 +166,18 @@ class CoflowInstance:
 
     @property
     def weights(self) -> np.ndarray:
-        """Coflow weights as a float array indexed by coflow index."""
-        return np.array([c.weight for c in self._coflows], dtype=float)
+        """Coflow weights as a float array indexed by coflow index (cached)."""
+        return self._frozen_array(
+            "weights", lambda: np.array([c.weight for c in self._coflows], dtype=float)
+        )
 
     @property
     def release_times(self) -> np.ndarray:
-        """Coflow release times as a float array indexed by coflow index."""
-        return np.array([c.release_time for c in self._coflows], dtype=float)
+        """Coflow release times as a float array indexed by coflow index (cached)."""
+        return self._frozen_array(
+            "release_times",
+            lambda: np.array([c.release_time for c in self._coflows], dtype=float),
+        )
 
     def _build_flow_refs(self) -> Tuple[FlowRef, ...]:
         refs: List[FlowRef] = []
@@ -176,9 +204,9 @@ class CoflowInstance:
     def iter_flows(self) -> Iterator[FlowRef]:
         return iter(self._flow_refs)
 
-    def flows_of(self, coflow_index: int) -> List[FlowRef]:
-        """Flow refs belonging to the coflow at *coflow_index*."""
-        return [r for r in self._flow_refs if r.coflow_index == coflow_index]
+    def flows_of(self, coflow_index: int) -> Tuple[FlowRef, ...]:
+        """Flow refs belonging to the coflow at *coflow_index* (precomputed)."""
+        return self._flows_by_coflow[coflow_index]
 
     def flow_ref(self, coflow_index: int, flow_index: int) -> FlowRef:
         """Look up a flow ref by (coflow, flow) position."""
@@ -188,16 +216,82 @@ class CoflowInstance:
         raise KeyError(f"no flow ({coflow_index}, {flow_index}) in instance")
 
     def demands(self) -> np.ndarray:
-        """Flow demands as a float array indexed by global flow index."""
-        return np.array([r.demand for r in self._flow_refs], dtype=float)
+        """Flow demands as a float array indexed by global flow index (cached)."""
+        return self._frozen_array(
+            "demands",
+            lambda: np.array([r.demand for r in self._flow_refs], dtype=float),
+        )
 
     def flow_release_times(self) -> np.ndarray:
-        """Effective flow release times indexed by global flow index."""
-        return np.array([r.release_time for r in self._flow_refs], dtype=float)
+        """Effective flow release times indexed by global flow index (cached)."""
+        return self._frozen_array(
+            "flow_release_times",
+            lambda: np.array([r.release_time for r in self._flow_refs], dtype=float),
+        )
 
     def coflow_of_flow(self) -> np.ndarray:
-        """Coflow index of each flow, indexed by global flow index."""
-        return np.array([r.coflow_index for r in self._flow_refs], dtype=int)
+        """Coflow index of each flow, indexed by global flow index (cached)."""
+        return self._frozen_array(
+            "coflow_of_flow",
+            lambda: np.array([r.coflow_index for r in self._flow_refs], dtype=int),
+        )
+
+    def coflow_release_times(self) -> np.ndarray:
+        """Earliest release time of each coflow, min over its flows (cached)."""
+
+        def build() -> np.ndarray:
+            release = np.full(self.num_coflows, np.inf)
+            for ref in self._flow_refs:
+                release[ref.coflow_index] = min(
+                    release[ref.coflow_index], ref.release_time
+                )
+            return release
+
+        return self._frozen_array("coflow_release_times", build)
+
+    def coflow_total_demands(self) -> np.ndarray:
+        """Total demand of each coflow, indexed by coflow index (cached)."""
+        return self._frozen_array(
+            "coflow_total_demands",
+            lambda: np.bincount(
+                self.coflow_of_flow(),
+                weights=self.demands(),
+                minlength=self.num_coflows,
+            ),
+        )
+
+    def path_edge_incidence(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flow→edge incidence of the pinned paths, as parallel COO arrays.
+
+        Returns ``(flow_ids, edge_ids)``: entry *k* says the flow with global
+        index ``flow_ids[k]`` traverses the edge with dense index
+        ``edge_ids[k]``.  Entries are ordered flow-major, path-order minor.
+        Computed once and cached; this is the array the vectorized LP builder
+        and the simulator's rate allocator share.
+
+        Raises
+        ------
+        ValueError
+            If some flow has no pinned path.
+        """
+        if self._path_incidence_cache is None:
+            edge_index = self._graph.edge_index()
+            flow_ids: List[int] = []
+            edge_ids: List[int] = []
+            for ref in self._flow_refs:
+                if not ref.flow.has_path:
+                    raise ValueError(
+                        f"path incidence requires a pinned path on flow {ref.label}"
+                    )
+                for edge in ref.flow.path_edges():
+                    flow_ids.append(ref.global_index)
+                    edge_ids.append(edge_index[edge])
+            flows = np.array(flow_ids, dtype=np.int64)
+            edges = np.array(edge_ids, dtype=np.int64)
+            flows.setflags(write=False)
+            edges.setflags(write=False)
+            self._path_incidence_cache = (flows, edges)
+        return self._path_incidence_cache
 
     # ------------------------------------------------------------------ #
     # derived quantities

@@ -8,8 +8,11 @@ the examples and the experiment harness.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Optional
+
+import numpy as np
 
 from repro.coflow.instance import CoflowInstance
 from repro.core.heuristic import lp_heuristic_schedule
@@ -20,14 +23,25 @@ from repro.core.stretch import (
     evaluate_stretch,
     run_stretch,
 )
-from repro.core.timeindexed import CoflowLPSolution, solve_time_indexed_lp
+from repro.core.timeindexed import (
+    CoflowLPSolution,
+    resolve_grid,
+    solve_time_indexed_lp,
+)
 from repro.schedule.feasibility import FeasibilityReport, check_feasibility
 from repro.schedule.schedule import Schedule
 from repro.schedule.timegrid import TimeGrid
 from repro.utils.rng import RandomSource, as_generator
 
+logger = logging.getLogger(__name__)
+
 #: Algorithms understood by :func:`solve_coflow_schedule`.
 ALGORITHMS = ("lp-heuristic", "stretch", "stretch-average", "stretch-best")
+
+
+def _grid_key(grid: TimeGrid) -> bytes:
+    """Stable cache key of a time grid (rounded boundary signature)."""
+    return np.round(grid.boundaries, 9).tobytes()
 
 
 @dataclass
@@ -121,23 +135,61 @@ class CoflowScheduler:
         self._rng = as_generator(rng)
         self._verify = verify
         self._solver_method = solver_method
-        self._lp_solution: Optional[CoflowLPSolution] = lp_solution
+        # The LP cache is keyed on the *actual* grid the LP was built on, so
+        # a seeded (shared) solution is only reused when this scheduler's own
+        # grid parameters resolve to the same grid — a request that differs
+        # (e.g. only in epsilon) triggers a fresh, correct solve instead of
+        # silently reusing a mismatched LP.
+        self._lp_solutions: Dict[bytes, CoflowLPSolution] = {}
+        self._resolved_grid: Optional[TimeGrid] = None
+        if lp_solution is not None:
+            self._lp_solutions[_grid_key(lp_solution.grid)] = lp_solution
 
     # ------------------------------------------------------------------ #
     # LP
     # ------------------------------------------------------------------ #
-    def solve_lp(self) -> CoflowLPSolution:
-        """Solve (and cache) the time-indexed LP for this instance."""
-        if self._lp_solution is None:
-            self._lp_solution = solve_time_indexed_lp(
+    def _resolve_grid(self) -> TimeGrid:
+        """The grid this scheduler's parameters resolve to (cached).
+
+        Delegates to :func:`repro.core.timeindexed.resolve_grid` — the same
+        resolution :func:`solve_time_indexed_lp` performs — so the cache key
+        always agrees with the grid a shared solution was built on.
+        """
+        if self._resolved_grid is None:
+            self._resolved_grid = resolve_grid(
                 self.instance,
                 grid=self._grid,
                 num_slots=self._num_slots,
                 slot_length=self._slot_length,
                 epsilon=self._epsilon,
+            )
+        return self._resolved_grid
+
+    def solve_lp(self) -> CoflowLPSolution:
+        """Solve (and cache) the time-indexed LP for this instance.
+
+        The cache is keyed on the resolved grid; a seeded shared solution
+        built on a different grid is skipped (with a debug log) rather than
+        silently reused.
+        """
+        grid = self._resolve_grid()
+        key = _grid_key(grid)
+        solution = self._lp_solutions.get(key)
+        if solution is None:
+            if self._lp_solutions:
+                logger.debug(
+                    "shared LP reuse skipped for instance %r: requested grid %r "
+                    "does not match any cached grid; solving fresh",
+                    self.instance.name,
+                    grid,
+                )
+            solution = solve_time_indexed_lp(
+                self.instance,
+                grid=grid,
                 solver_method=self._solver_method,
             )
-        return self._lp_solution
+            self._lp_solutions[key] = solution
+        return solution
 
     @property
     def lower_bound(self) -> float:

@@ -96,6 +96,44 @@ def suggest_horizon(
     return max(int(np.ceil(horizon_time / slot_length)) + 1, 1)
 
 
+def resolve_grid(
+    instance: CoflowInstance,
+    *,
+    grid: Optional[TimeGrid] = None,
+    num_slots: Optional[int] = None,
+    slot_length: float = 1.0,
+    epsilon: Optional[float] = None,
+    horizon_slack: float = 1.1,
+) -> TimeGrid:
+    """Resolve a grid specification to a concrete :class:`TimeGrid`.
+
+    Exactly one specification is used, in this order of precedence:
+
+    1. an explicit *grid*;
+    2. *epsilon* — a geometric grid ``0, 1, (1+eps), ...`` covering the
+       suggested horizon (Appendix A);
+    3. *num_slots* uniform slots of *slot_length*;
+    4. otherwise, a uniform grid sized by :func:`suggest_horizon`.
+
+    This is the single source of truth shared by
+    :func:`solve_time_indexed_lp` and the grid-keyed LP cache of
+    :class:`~repro.core.scheduler.CoflowScheduler` — both must resolve the
+    same parameters to the same grid or shared-LP reuse silently degrades.
+    """
+    if grid is not None:
+        return grid
+    if epsilon is not None:
+        horizon_slots = suggest_horizon(
+            instance, slot_length=slot_length, slack=horizon_slack
+        )
+        return TimeGrid.geometric(horizon_slots * slot_length, epsilon)
+    if num_slots is None:
+        num_slots = suggest_horizon(
+            instance, slot_length=slot_length, slack=horizon_slack
+        )
+    return TimeGrid.uniform(num_slots, slot_length)
+
+
 # --------------------------------------------------------------------------- #
 # LP solution container
 # --------------------------------------------------------------------------- #
@@ -192,6 +230,16 @@ def build_time_indexed_lp(
     Returns the :class:`~repro.lp.model.LinearProgram` plus the index bundle
     needed to read the solution back.  Use :func:`solve_time_indexed_lp` for
     the common build-and-solve path.
+
+    The assembly is fully vectorized: every constraint family is emitted as
+    one batched COO triplet built from precomputed incidence arrays (the
+    flow→edge incidence and release masks cached on
+    :class:`~repro.coflow.instance.CoflowInstance` and
+    :class:`~repro.network.graph.NetworkGraph`), with no per-slot or
+    per-flow Python loops on the hot path.  The produced program is
+    bit-identical to the loop-based reference in
+    :mod:`repro.core.timeindexed_reference`, which the equivalence tests
+    assert and ``repro bench`` measures against.
     """
     num_flows = instance.num_flows
     num_coflows = instance.num_coflows
@@ -223,12 +271,10 @@ def build_time_indexed_lp(
     # ------------------------- release times (Eq. 4) ------------------- #
     release = instance.flow_release_times()
     allowed = grid.release_mask(release)  # (num_flows, num_slots)
-    forbidden_flows, forbidden_slots = np.nonzero(~allowed)
-    for f, t in zip(forbidden_flows, forbidden_slots):
-        lp.fix_variable(int(x_idx[f, t]), 0.0)
-        if y_idx is not None:
-            for e in range(num_edges):
-                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
+    forbidden = ~allowed
+    lp.fix_variables(x_idx[forbidden], 0.0)
+    if y_idx is not None:
+        lp.fix_variables(y_idx[forbidden, :], 0.0)
 
     # -------------------- demand satisfaction (Eq. 1) ------------------ #
     rows = np.repeat(np.arange(num_flows), num_slots)
@@ -240,31 +286,21 @@ def build_time_indexed_lp(
 
     # ------------------- coflow completion indicators (Eq. 2) ---------- #
     # X_j(t) <= sum_{l <= t} x_f(l)   for every flow f of coflow j, every t.
+    # Row (f, t) has the X_j(t) entry plus a lower-triangular block of x
+    # entries; both parts are emitted by pure index arithmetic.
     coflow_of_flow = instance.coflow_of_flow()
-    batch_rows: list[np.ndarray] = []
-    batch_cols: list[np.ndarray] = []
-    batch_vals: list[np.ndarray] = []
-    row_counter = 0
-    for f in range(num_flows):
-        j = int(coflow_of_flow[f])
-        for t in range(num_slots):
-            size = t + 2  # X_j(t) plus x_f(0..t)
-            rows_ft = np.full(size, row_counter, dtype=np.int64)
-            cols_ft = np.empty(size, dtype=np.int64)
-            vals_ft = np.empty(size, dtype=float)
-            cols_ft[0] = big_x_idx[j, t]
-            vals_ft[0] = 1.0
-            cols_ft[1:] = x_idx[f, : t + 1]
-            vals_ft[1:] = -1.0
-            batch_rows.append(rows_ft)
-            batch_cols.append(cols_ft)
-            batch_vals.append(vals_ft)
-            row_counter += 1
+    rows_big_x = np.arange(num_flows * num_slots, dtype=np.int64)
+    cols_big_x = big_x_idx[coflow_of_flow, :].reshape(-1)
+    tri_t, tri_l = np.tril_indices(num_slots)
+    rows_x = (
+        np.arange(num_flows, dtype=np.int64)[:, None] * num_slots + tri_t[None, :]
+    ).reshape(-1)
+    cols_x = x_idx[:, tri_l].reshape(-1)
     lp.add_constraints_batch(
-        np.concatenate(batch_rows),
-        np.concatenate(batch_cols),
-        np.concatenate(batch_vals),
-        np.zeros(row_counter),
+        np.concatenate([rows_big_x, rows_x]),
+        np.concatenate([cols_big_x, cols_x]),
+        np.concatenate([np.ones(rows_big_x.size), -np.ones(rows_x.size)]),
+        np.zeros(num_flows * num_slots),
         ConstraintSense.LESS_EQUAL,
     )
 
@@ -273,27 +309,15 @@ def build_time_indexed_lp(
     #   <=>  -C_j - sum_t d_t X_j(t) <= -(d_0 + sum_t d_t)
     first_duration = float(durations[0])
     total_duration = float(durations.sum())
-    rows3: list[np.ndarray] = []
-    cols3: list[np.ndarray] = []
-    vals3: list[np.ndarray] = []
-    rhs3 = np.full(num_coflows, -(first_duration + total_duration))
-    for j in range(num_coflows):
-        size = 1 + num_slots
-        rows_j = np.full(size, j, dtype=np.int64)
-        cols_j = np.empty(size, dtype=np.int64)
-        vals_j = np.empty(size, dtype=float)
-        cols_j[0] = c_idx[j]
-        vals_j[0] = -1.0
-        cols_j[1:] = big_x_idx[j]
-        vals_j[1:] = -durations
-        rows3.append(rows_j)
-        cols3.append(cols_j)
-        vals3.append(vals_j)
     lp.add_constraints_batch(
-        np.concatenate(rows3),
-        np.concatenate(cols3),
-        np.concatenate(vals3),
-        rhs3,
+        np.concatenate(
+            [np.arange(num_coflows), np.repeat(np.arange(num_coflows), num_slots)]
+        ),
+        np.concatenate([c_idx, big_x_idx.reshape(-1)]),
+        np.concatenate(
+            [-np.ones(num_coflows), -np.tile(durations, num_coflows)]
+        ),
+        np.full(num_coflows, -(first_duration + total_duration)),
         ConstraintSense.LESS_EQUAL,
     )
 
@@ -314,48 +338,37 @@ def _add_single_path_constraints(
     grid: TimeGrid,
     x_idx: np.ndarray,
 ) -> None:
-    """Edge bandwidth constraints along pinned paths (paper Eq. 6 / 19)."""
+    """Edge bandwidth constraints along pinned paths (paper Eq. 6 / 19).
+
+    Built from the cached flow→edge incidence of the instance: entry *k* of
+    the incidence contributes one coefficient per slot, giving row
+    ``rank(edge_k) * T + t`` directly by arithmetic.
+    """
     graph = instance.graph
-    edge_index = graph.edge_index()
     capacities = graph.capacity_vector()
     durations = grid.durations
     num_slots = grid.num_slots
 
-    # For each edge, collect the flows whose pinned path uses it.
-    flows_on_edge: Dict[int, list[tuple[int, float]]] = {}
-    for ref in instance.flow_refs():
-        flow = ref.flow
-        if not flow.has_path:
-            raise ValueError(
-                f"single path LP requires a pinned path on flow {ref.label}"
-            )
-        for edge in flow.path_edges():
-            flows_on_edge.setdefault(edge_index[edge], []).append(
-                (ref.global_index, flow.demand)
-            )
+    try:
+        inc_flows, inc_edges = instance.path_edge_incidence()
+    except ValueError as exc:
+        raise ValueError(str(exc).replace("path incidence", "single path LP")) from exc
+    if inc_flows.size == 0:
+        return
 
-    rows: list[np.ndarray] = []
-    cols: list[np.ndarray] = []
-    vals: list[np.ndarray] = []
-    rhs: list[float] = []
-    row_counter = 0
-    for e, flow_list in sorted(flows_on_edge.items()):
-        flow_ids = np.array([f for f, _ in flow_list], dtype=np.int64)
-        demands = np.array([d for _, d in flow_list], dtype=float)
-        for t in range(num_slots):
-            rows.append(np.full(flow_ids.size, row_counter, dtype=np.int64))
-            cols.append(x_idx[flow_ids, t])
-            vals.append(demands)
-            rhs.append(capacities[e] * durations[t])
-            row_counter += 1
-    if row_counter:
-        lp.add_constraints_batch(
-            np.concatenate(rows),
-            np.concatenate(cols),
-            np.concatenate(vals),
-            np.array(rhs),
-            ConstraintSense.LESS_EQUAL,
-        )
+    # Stable sort groups incidence entries by edge while preserving the
+    # flow-insertion order within each edge (matching the loop reference).
+    order = np.argsort(inc_edges, kind="stable")
+    inc_flows = inc_flows[order]
+    inc_edges = inc_edges[order]
+    used_edges, edge_rank = np.unique(inc_edges, return_inverse=True)
+
+    slot_range = np.arange(num_slots, dtype=np.int64)
+    rows = (edge_rank[:, None] * num_slots + slot_range[None, :]).reshape(-1)
+    cols = x_idx[inc_flows, :].reshape(-1)
+    vals = np.repeat(instance.demands()[inc_flows], num_slots)
+    rhs = (capacities[used_edges][:, None] * durations[None, :]).reshape(-1)
+    lp.add_constraints_batch(rows, cols, vals, rhs, ConstraintSense.LESS_EQUAL)
 
 
 def _add_free_path_constraints(
@@ -372,103 +385,135 @@ def _add_free_path_constraints(
     circulation can be pruned to one without (remove flow cycles), so this
     does not change the LP optimum; it removes useless variables and makes
     solutions directly verifiable as net-flow decompositions.
+
+    Vectorization: the conservation block of one flow is identical for every
+    slot up to a constant column shift (``E`` per slot for ``y`` entries, 1
+    per slot for the ``x`` entry), so a per-(source, sink) coefficient
+    pattern is built once and broadcast over all slots with index
+    arithmetic.  The per-edge bandwidth rows (Eq. 10) are emitted as a
+    single dense-index computation.
     """
     graph = instance.graph
-    edge_index = graph.edge_index()
     capacities = graph.capacity_vector()
     durations = grid.durations
     num_slots = grid.num_slots
     num_edges = graph.num_edges
+    num_flows = instance.num_flows
     nodes = graph.nodes
 
-    out_edges = {node: [edge_index[e] for e in graph.out_edges(node)] for node in nodes}
-    in_edges = {node: [edge_index[e] for e in graph.in_edges(node)] for node in nodes}
+    x_start = int(x_idx[0, 0])
+    y_start = int(y_idx[0, 0, 0])
+    slot_range = np.arange(num_slots, dtype=np.int64)
+
+    # Per-(src, dst) conservation pattern: (local_row, relative column at
+    # t=0, per-slot column step, coefficient) per nonzero.  rows_per_slot is
+    # the number of conservation rows one slot contributes for the flow.
+    pattern_cache: Dict[
+        tuple, tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]
+    ] = {}
+
+    def _pattern(src: str, dst: str):
+        cached = pattern_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        local_rows: list[int] = []
+        rel_cols: list[int] = []
+        steps: list[int] = []
+        coefs: list[float] = []
+
+        def _emit(row: int, edge_ids: np.ndarray, coef: float) -> None:
+            local_rows.extend([row] * edge_ids.size)
+            rel_cols.extend(edge_ids.tolist())
+            steps.extend([num_edges] * edge_ids.size)
+            coefs.extend([coef] * edge_ids.size)
+
+        # Eq. (7): sum_out(src) y - x = 0, then Eq. (8): sum_in(dst) y - x = 0.
+        _emit(0, graph.out_edge_indices(src), 1.0)
+        local_rows.append(0)
+        rel_cols.append(-1)  # placeholder: x column, filled via step/base
+        steps.append(1)
+        coefs.append(-1.0)
+        _emit(1, graph.in_edge_indices(dst), 1.0)
+        local_rows.append(1)
+        rel_cols.append(-1)
+        steps.append(1)
+        coefs.append(-1.0)
+        # Eq. (9): conservation at every other (non-isolated) node.
+        row = 2
+        for node in nodes:
+            if node == src or node == dst:
+                continue
+            node_in = graph.in_edge_indices(node)
+            node_out = graph.out_edge_indices(node)
+            if node_in.size == 0 and node_out.size == 0:
+                continue
+            _emit(row, node_in, 1.0)
+            _emit(row, node_out, -1.0)
+            row += 1
+        pattern = (
+            np.array(local_rows, dtype=np.int64),
+            np.array(rel_cols, dtype=np.int64),
+            np.array(steps, dtype=np.int64),
+            np.array(coefs, dtype=float),
+            row,
+        )
+        pattern_cache[(src, dst)] = pattern
+        return pattern
 
     eq_rows: list[np.ndarray] = []
     eq_cols: list[np.ndarray] = []
     eq_vals: list[np.ndarray] = []
-    eq_rhs: list[float] = []
-    eq_counter = 0
+    eq_row_offset = 0
 
     for ref in instance.flow_refs():
         f = ref.global_index
         src, dst = ref.flow.source, ref.flow.sink
         # Disallow circulation through the endpoints (see docstring).
-        for e in in_edges[src]:
-            for t in range(num_slots):
-                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
-        for e in out_edges[dst]:
-            for t in range(num_slots):
-                lp.fix_variable(int(y_idx[f, t, e]), 0.0)
+        lp.fix_variables(y_idx[f][:, graph.in_edge_indices(src)], 0.0)
+        lp.fix_variables(y_idx[f][:, graph.out_edge_indices(dst)], 0.0)
 
-        src_out = np.array(out_edges[src], dtype=np.int64)
-        dst_in = np.array(in_edges[dst], dtype=np.int64)
-        for t in range(num_slots):
-            # Eq. (7): sum_{e in delta_out(src)} y = x
-            size = src_out.size + 1
-            eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
-            eq_cols.append(np.concatenate([y_idx[f, t, src_out], [x_idx[f, t]]]))
-            eq_vals.append(np.concatenate([np.ones(src_out.size), [-1.0]]))
-            eq_rhs.append(0.0)
-            eq_counter += 1
-            # Eq. (8): sum_{e in delta_in(dst)} y = x
-            size = dst_in.size + 1
-            eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
-            eq_cols.append(np.concatenate([y_idx[f, t, dst_in], [x_idx[f, t]]]))
-            eq_vals.append(np.concatenate([np.ones(dst_in.size), [-1.0]]))
-            eq_rhs.append(0.0)
-            eq_counter += 1
-            # Eq. (9): conservation at every other node.
-            for node in nodes:
-                if node == src or node == dst:
-                    continue
-                node_in = np.array(in_edges[node], dtype=np.int64)
-                node_out = np.array(out_edges[node], dtype=np.int64)
-                if node_in.size == 0 and node_out.size == 0:
-                    continue
-                size = node_in.size + node_out.size
-                eq_rows.append(np.full(size, eq_counter, dtype=np.int64))
-                eq_cols.append(
-                    np.concatenate([y_idx[f, t, node_in], y_idx[f, t, node_out]])
-                )
-                eq_vals.append(
-                    np.concatenate([np.ones(node_in.size), -np.ones(node_out.size)])
-                )
-                eq_rhs.append(0.0)
-                eq_counter += 1
+        local_rows, rel_cols, steps, coefs, rows_per_slot = _pattern(src, dst)
+        # Column at t=0: y entries live at y_start + f*T*E + e, the x entry
+        # (rel_col == -1) at x_start + f*T.
+        col0 = np.where(
+            rel_cols >= 0,
+            y_start + f * num_slots * num_edges + rel_cols,
+            x_start + f * num_slots,
+        )
+        eq_rows.append(
+            (
+                eq_row_offset
+                + slot_range[:, None] * rows_per_slot
+                + local_rows[None, :]
+            ).reshape(-1)
+        )
+        eq_cols.append(
+            (col0[None, :] + slot_range[:, None] * steps[None, :]).reshape(-1)
+        )
+        eq_vals.append(np.tile(coefs, num_slots))
+        eq_row_offset += num_slots * rows_per_slot
 
-    if eq_counter:
+    if eq_row_offset:
         lp.add_constraints_batch(
             np.concatenate(eq_rows),
             np.concatenate(eq_cols),
             np.concatenate(eq_vals),
-            np.array(eq_rhs),
+            np.zeros(eq_row_offset),
             ConstraintSense.EQUAL,
         )
 
-    # Eq. (10): edge bandwidths.
-    num_flows = instance.num_flows
+    # Eq. (10): edge bandwidths.  Row (t, e) sums y over all flows.
     demands = instance.demands()
-    rows: list[np.ndarray] = []
-    cols: list[np.ndarray] = []
-    vals: list[np.ndarray] = []
-    rhs: list[float] = []
-    row_counter = 0
-    flow_range = np.arange(num_flows)
-    for t in range(num_slots):
-        for e in range(num_edges):
-            rows.append(np.full(num_flows, row_counter, dtype=np.int64))
-            cols.append(y_idx[flow_range, t, e])
-            vals.append(demands)
-            rhs.append(capacities[e] * durations[t])
-            row_counter += 1
-    lp.add_constraints_batch(
-        np.concatenate(rows),
-        np.concatenate(cols),
-        np.concatenate(vals),
-        np.array(rhs),
-        ConstraintSense.LESS_EQUAL,
-    )
+    te_range = np.arange(num_slots * num_edges, dtype=np.int64)
+    rows = np.repeat(te_range, num_flows)
+    # y_idx[f, t, e] = y_start + f*T*E + (t*E + e); enumerate flows minor.
+    cols = (
+        te_range[:, None]
+        + np.arange(num_flows, dtype=np.int64)[None, :] * (num_slots * num_edges)
+    ).reshape(-1) + y_start
+    vals = np.tile(demands, num_slots * num_edges)
+    rhs = (durations[:, None] * capacities[None, :]).reshape(-1)
+    lp.add_constraints_batch(rows, cols, vals, rhs, ConstraintSense.LESS_EQUAL)
 
 
 # --------------------------------------------------------------------------- #
@@ -501,18 +546,14 @@ def solve_time_indexed_lp(
         The optimal LP solution; raises :class:`~repro.lp.solver.LPSolverError`
         if the LP cannot be solved to optimality.
     """
-    if grid is None:
-        if epsilon is not None:
-            horizon_slots = suggest_horizon(
-                instance, slot_length=slot_length, slack=horizon_slack
-            )
-            grid = TimeGrid.geometric(horizon_slots * slot_length, epsilon)
-        else:
-            if num_slots is None:
-                num_slots = suggest_horizon(
-                    instance, slot_length=slot_length, slack=horizon_slack
-                )
-            grid = TimeGrid.uniform(num_slots, slot_length)
+    grid = resolve_grid(
+        instance,
+        grid=grid,
+        num_slots=num_slots,
+        slot_length=slot_length,
+        epsilon=epsilon,
+        horizon_slack=horizon_slack,
+    )
 
     lp, bundle = build_time_indexed_lp(instance, grid)
     result = solve_lp(

@@ -72,9 +72,13 @@ class LinearProgram:
         self.name = name
         self._num_vars = 0
         self._blocks: Dict[str, VariableBlock] = {}
-        self._objective: List[Tuple[int, float]] = []
-        self._lower: List[float] = []
-        self._upper: List[float] = []
+        # Objective contributions as (indices, coefficients) array pairs,
+        # accumulated additively in objective_vector().
+        self._objective: List[Tuple[np.ndarray, np.ndarray]] = []
+        # Variable bounds as growable numpy arrays (vectorized fixing of
+        # release-time slots is one of the LP assembly hot paths).
+        self._lower = np.empty(0, dtype=float)
+        self._upper = np.empty(0, dtype=float)
         # COO triplet buffers for inequality (<=) and equality constraints.
         self._ub_rows: List[np.ndarray] = []
         self._ub_cols: List[np.ndarray] = []
@@ -132,8 +136,12 @@ class LinearProgram:
         block = VariableBlock(name=name, start=self._num_vars, size=count)
         self._blocks[name] = block
         self._num_vars += count
-        self._lower.extend([lower] * count)
-        self._upper.extend([np.inf if upper is None else upper] * count)
+        self._lower = np.concatenate(
+            [self._lower, np.full(count, float(lower))]
+        )
+        self._upper = np.concatenate(
+            [self._upper, np.full(count, np.inf if upper is None else float(upper))]
+        )
         return block
 
     def block(self, name: str) -> VariableBlock:
@@ -150,12 +158,30 @@ class LinearProgram:
         self._lower[index] = value
         self._upper[index] = value
 
+    def fix_variables(self, indices: np.ndarray, value: float) -> None:
+        """Pin many variables to a constant at once (vectorized).
+
+        Accepts any integer array (it is flattened); the empty array is a
+        no-op.  This is what the vectorized LP builder uses to zero out all
+        pre-release-time slots in one call.
+        """
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return
+        self._lower[idx] = value
+        self._upper[idx] = value
+
     # ------------------------------------------------------------------ #
     # objective
     # ------------------------------------------------------------------ #
     def set_objective_coefficient(self, index: int, coefficient: float) -> None:
         """Add *coefficient* to the objective weight of variable *index*."""
-        self._objective.append((int(index), float(coefficient)))
+        self._objective.append(
+            (
+                np.array([int(index)], dtype=np.int64),
+                np.array([float(coefficient)], dtype=float),
+            )
+        )
 
     def set_objective(
         self, indices: Sequence[int] | np.ndarray, coefficients: Sequence[float] | np.ndarray
@@ -165,14 +191,13 @@ class LinearProgram:
         coefficients = np.asarray(coefficients, dtype=float)
         if indices.shape != coefficients.shape:
             raise ValueError("indices and coefficients must have the same shape")
-        for idx, coef in zip(indices.ravel(), coefficients.ravel()):
-            self._objective.append((int(idx), float(coef)))
+        self._objective.append((indices.ravel(), coefficients.ravel().astype(float)))
 
     def objective_vector(self) -> np.ndarray:
         """Dense objective vector ``c`` (length = number of variables)."""
         c = np.zeros(self._num_vars, dtype=float)
         for idx, coef in self._objective:
-            c[idx] += coef
+            np.add.at(c, idx, coef)
         return c
 
     # ------------------------------------------------------------------ #
@@ -300,10 +325,19 @@ class LinearProgram:
         )
         b_eq = np.array(self._eq_rhs, dtype=float) if self._eq_rhs else None
         bounds = [
-            (lo, None if np.isinf(hi) else hi)
+            (float(lo), None if np.isinf(hi) else float(hi))
             for lo, hi in zip(self._lower, self._upper)
         ]
         return c, a_ub, b_ub, a_eq, b_eq, bounds
+
+    def bounds_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Variable bounds as ``(lower, upper)`` float arrays (copies).
+
+        ``upper`` uses ``np.inf`` for unbounded variables.  Used by the
+        solver's warm-start cache to fingerprint a program cheaply and by the
+        builder-equivalence tests.
+        """
+        return self._lower.copy(), self._upper.copy()
 
     def size_summary(self) -> Dict[str, int]:
         """Quick size report used by the LP-scaling ablation benchmark."""

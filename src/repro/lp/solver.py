@@ -1,14 +1,31 @@
-"""Thin wrapper around :func:`scipy.optimize.linprog` (HiGHS).
+"""Thin wrapper around :func:`scipy.optimize.linprog` (HiGHS) with warm starts.
 
 The paper used Gurobi; HiGHS (bundled with scipy) solves the exact same LPs
 to optimality, just more slowly.  Keeping the solver behind one function
 means swapping in another backend later only touches this module.
+
+Warm starting
+-------------
+scipy's ``linprog`` interface exposes neither basis injection nor a primal
+starting point for HiGHS, so "warm starting" here degrades to the strongest
+form the backend allows: **exact solution reuse**.  A :class:`LPSolveCache`
+fingerprints every solved program (objective, constraint matrices, bounds,
+method) and returns the cached optimal solution when an identical program is
+solved again — which happens constantly in the batch runner (the shared
+uniform-grid LP requested by several algorithms), in the λ-sampling
+evaluation (every draw reuses one LP), and in repeated benchmark rounds.
+When a real basis-reusing backend (e.g. ``highspy``) becomes available, only
+this module needs to learn how to seed it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
-from typing import Optional
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import replace
+from typing import Iterator, Optional
 
 import numpy as np
 from scipy.optimize import linprog
@@ -27,6 +44,113 @@ class LPSolverError(RuntimeError):
 DEFAULT_METHOD = "highs"
 
 
+def _fingerprint(parts: Iterator[bytes]) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(part)
+    return digest.hexdigest()
+
+
+def _program_key(program: LinearProgram, matrices, method: str, presolve: bool) -> str:
+    """Stable fingerprint of an assembled program + solver configuration."""
+    c, a_ub, b_ub, a_eq, b_eq, _bounds = matrices
+    lower, upper = program.bounds_arrays()
+
+    def parts() -> Iterator[bytes]:
+        yield method.encode()
+        yield b"presolve" if presolve else b"no-presolve"
+        yield np.ascontiguousarray(c).tobytes()
+        yield lower.tobytes()
+        yield upper.tobytes()
+        for matrix, rhs, tag in ((a_ub, b_ub, b"ub"), (a_eq, b_eq, b"eq")):
+            yield tag
+            if matrix is None:
+                continue
+            yield np.asarray(matrix.shape, dtype=np.int64).tobytes()
+            yield matrix.indptr.tobytes()
+            yield matrix.indices.tobytes()
+            yield matrix.data.tobytes()
+            yield np.ascontiguousarray(rhs).tobytes()
+
+    return _fingerprint(parts())
+
+
+class LPSolveCache:
+    """LRU cache of solved programs, keyed by exact program fingerprint.
+
+    Cached entries are returned as shallow copies with a fresh ``metadata``
+    dict (tagged ``warm_start: "reused"``), so callers may annotate results
+    without corrupting the cache.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, LPResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[LPResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        # Fresh copies of the mutable fields: a caller mutating the returned
+        # solution (or its metadata) must not corrupt later cache hits.
+        return replace(
+            entry,
+            x=entry.x.copy(),
+            metadata={**entry.metadata, "warm_start": "reused"},
+        )
+
+    def store(self, key: str, result: LPResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Process-wide cache installed by :func:`solver_cache`; ``None`` disables
+#: implicit reuse (every solve_lp call without an explicit cache hits HiGHS).
+_ACTIVE_CACHE: Optional[LPSolveCache] = None
+
+
+@contextmanager
+def solver_cache(cache: Optional[LPSolveCache] = None):
+    """Install an :class:`LPSolveCache` for every solve inside the block.
+
+    Nested blocks stack (the innermost cache wins); the previous cache is
+    restored on exit.  Yields the active cache so callers can read its
+    hit/miss statistics afterwards.
+    """
+    global _ACTIVE_CACHE
+    active = cache if cache is not None else LPSolveCache()
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = active
+    try:
+        yield active
+    finally:
+        _ACTIVE_CACHE = previous
+
+
+def active_solver_cache() -> Optional[LPSolveCache]:
+    """The cache currently installed by :func:`solver_cache`, if any."""
+    return _ACTIVE_CACHE
+
+
 def solve_lp(
     program: LinearProgram,
     *,
@@ -34,6 +158,7 @@ def solve_lp(
     presolve: bool = True,
     time_limit: Optional[float] = None,
     require_optimal: bool = False,
+    cache: Optional[LPSolveCache] = None,
 ) -> LPResult:
     """Solve *program* and return an :class:`~repro.lp.result.LPResult`.
 
@@ -51,8 +176,28 @@ def solve_lp(
         Optional wall-clock limit in seconds passed to HiGHS.
     require_optimal:
         When true, raise :class:`LPSolverError` unless the status is optimal.
+    cache:
+        Warm-start cache; defaults to the cache installed by
+        :func:`solver_cache` (or no caching when none is installed).
+        Time-limited solves are never cached (the limit may have truncated
+        the solve nondeterministically).
     """
-    c, a_ub, b_ub, a_eq, b_eq, bounds = program.build_matrices()
+    matrices = program.build_matrices()
+    c, a_ub, b_ub, a_eq, b_eq, bounds = matrices
+
+    active = cache if cache is not None else _ACTIVE_CACHE
+    cacheable = active is not None and time_limit is None
+    key = _program_key(program, matrices, method, presolve) if cacheable else None
+    if cacheable:
+        hit = active.lookup(key)
+        if hit is not None:
+            if require_optimal and not hit.is_optimal:
+                raise LPSolverError(
+                    f"LP {program.name!r} failed to solve: {hit.status.value} "
+                    f"({hit.message})"
+                )
+            return hit
+
     options: dict = {"presolve": presolve}
     if time_limit is not None and method.startswith("highs"):
         options["time_limit"] = float(time_limit)
@@ -84,6 +229,9 @@ def solve_lp(
         result = LPResult.failed(status, message=str(scipy_result.message))
         result.solve_seconds = elapsed
         result.metadata = program.size_summary()
+
+    if cacheable:
+        active.store(key, result)
 
     if require_optimal and not result.is_optimal:
         raise LPSolverError(

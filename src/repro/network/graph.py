@@ -49,6 +49,8 @@ class NetworkGraph:
                     self.add_edge(u, v, cap)
         self._edge_index_cache: Optional[Dict[Edge, int]] = None
         self._nx_cache: Optional[nx.DiGraph] = None
+        self._node_edges_cache: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None
+        self._capacity_vector_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -84,6 +86,8 @@ class NetworkGraph:
     def _invalidate(self) -> None:
         self._edge_index_cache = None
         self._nx_cache = None
+        self._node_edges_cache = None
+        self._capacity_vector_cache = None
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -132,8 +136,16 @@ class NetworkGraph:
         return dict(self._capacity)
 
     def capacity_vector(self) -> np.ndarray:
-        """Edge capacities as a float array aligned with :meth:`edge_index`."""
-        return np.array([self._capacity[e] for e in self.edges], dtype=float)
+        """Edge capacities as a float array aligned with :meth:`edge_index`.
+
+        A fresh (mutable) copy is returned on every call; the underlying
+        array is cached so hot paths do not re-materialize it from the dict.
+        """
+        if self._capacity_vector_cache is None:
+            self._capacity_vector_cache = np.array(
+                [self._capacity[e] for e in self.edges], dtype=float
+            )
+        return self._capacity_vector_cache.copy()
 
     def edge_index(self) -> Dict[Edge, int]:
         """Mapping edge -> dense integer index (cached, insertion order)."""
@@ -150,6 +162,30 @@ class NetworkGraph:
         """Directed edges entering *node* (``delta_in`` in the paper)."""
         node = str(node)
         return [e for e in self.edges if e[1] == node]
+
+    def _node_edges(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        if self._node_edges_cache is None:
+            ins: Dict[str, List[int]] = {n: [] for n in self._nodes}
+            outs: Dict[str, List[int]] = {n: [] for n in self._nodes}
+            for i, (u, v) in enumerate(self.edges):
+                outs[u].append(i)
+                ins[v].append(i)
+            self._node_edges_cache = {
+                n: (
+                    np.array(ins[n], dtype=np.int64),
+                    np.array(outs[n], dtype=np.int64),
+                )
+                for n in self._nodes
+            }
+        return self._node_edges_cache
+
+    def in_edge_indices(self, node: str) -> np.ndarray:
+        """Dense indices of the edges entering *node* (cached array)."""
+        return self._node_edges()[str(node)][0]
+
+    def out_edge_indices(self, node: str) -> np.ndarray:
+        """Dense indices of the edges leaving *node* (cached array)."""
+        return self._node_edges()[str(node)][1]
 
     def min_capacity(self) -> float:
         """Smallest edge capacity in the graph."""

@@ -1,0 +1,24 @@
+"""Performance measurement: the ``repro bench`` harness.
+
+:mod:`repro.perf.harness` runs the repository's performance scenarios
+(vectorized LP assembly vs the loop-based reference, the incremental
+simulator vs full per-event re-allocation, and the shared-LP batch runner),
+emits a ``BENCH_<date>.json`` trajectory file, and compares against the
+previous report so regressions are visible run-over-run.
+"""
+
+from repro.perf.harness import (
+    compare_reports,
+    find_previous_report,
+    format_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "compare_reports",
+    "find_previous_report",
+    "format_report",
+    "run_bench",
+    "write_report",
+]

@@ -13,13 +13,18 @@ slotted :class:`~repro.schedule.schedule.Schedule`.
 
 from __future__ import annotations
 
+import time as time_module
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.coflow.instance import CoflowInstance
-from repro.sim.rate_allocation import RATE_TOL, allocate_rates
+from repro.sim.rate_allocation import (
+    RATE_TOL,
+    CoflowAllocation,
+    get_rate_allocator,
+)
 
 #: Guard against pathological event loops (should never trigger for sane
 #: priority functions: each event either releases or finishes something).
@@ -99,14 +104,26 @@ class SimulationResult:
 PriorityFunction = Callable[[float, Sequence[FlowState], CoflowInstance], Sequence[int]]
 
 
+def array_priority(fn):
+    """Mark a priority function as array-based (hot-path protocol).
+
+    An array-based priority function is called as ``fn(time, remaining,
+    instance)`` where *remaining* is the simulator's per-flow remaining
+    demand vector (read-only by convention) instead of the list of
+    :class:`FlowState` objects.  The simulator then skips the per-event
+    Python loop that keeps the ``FlowState.remaining`` mirrors up to date,
+    which dominates the event cost for the closed-form single path model.
+    """
+    fn.supports_arrays = True
+    return fn
+
+
 def _coflow_release_times(instance: CoflowInstance) -> np.ndarray:
-    """Earliest time each coflow may start (min over its flows' release times)."""
-    release = np.full(instance.num_coflows, np.inf)
-    for ref in instance.flow_refs():
-        release[ref.coflow_index] = min(
-            release[ref.coflow_index], ref.release_time
-        )
-    return release
+    """Earliest time each coflow may start (min over its flows' release times).
+
+    Cached on the instance (the FIFO priority asks at every event).
+    """
+    return instance.coflow_release_times()
 
 
 def simulate_priority_schedule(
@@ -115,6 +132,7 @@ def simulate_priority_schedule(
     *,
     record_timeline: bool = False,
     max_time: Optional[float] = None,
+    incremental: bool = True,
 ) -> SimulationResult:
     """Simulate a priority-driven, work-conserving, preemptive schedule.
 
@@ -133,6 +151,16 @@ def simulate_priority_schedule(
     max_time:
         Safety cap on simulated time; ``None`` derives a generous bound from
         the instance.
+    incremental:
+        Reuse per-coflow allocations across events (default).  A coflow's
+        allocation is provably unchanged when (a) every higher-priority
+        coflow kept its allocation, (b) none of its flows completed or got
+        released by the event, and (c) all of its unfinished flows are
+        released — its flows then drain proportionally, which leaves the
+        fastest-completion rates invariant.  Only coflows at and below the
+        first changed priority rank are re-allocated; ``incremental=False``
+        recomputes every coflow at every event (the pre-optimization
+        behaviour, equal event-for-event).
 
     Returns
     -------
@@ -170,6 +198,20 @@ def simulate_priority_schedule(
     max_events = MAX_EVENTS_FACTOR * (num_flows + num_coflows + 1)
     events = 0
 
+    allocator = get_rate_allocator(instance)
+    capacity = instance.graph.capacity_vector()
+    coflow_idx = instance.coflow_of_flow()
+    # Incremental-allocation state: the effective priority sequence of the
+    # previous event, the per-coflow allocations it produced, and the set of
+    # coflows whose inputs changed since their cached allocation.
+    prev_seq: List[int] = []
+    alloc_cache: Dict[int, CoflowAllocation] = {}
+    dirty = set(range(num_coflows))
+    alloc_computed = 0
+    alloc_reused = 0
+    priority_wants_arrays = bool(getattr(priority_fn, "supports_arrays", False))
+    wall_start = time_module.perf_counter()
+
     while not finished_flows.all():
         events += 1
         if events > max_events:
@@ -179,24 +221,53 @@ def simulate_priority_schedule(
             )
         # Which coflows can transmit right now?
         released_flows = (flow_release <= time + 1e-12) & (~finished_flows)
-        active_coflows = sorted(
-            {flow_states[f].coflow_index for f in np.nonzero(released_flows)[0]}
-        )
-        if not active_coflows:
+        active = np.unique(coflow_idx[released_flows])
+        if active.size == 0:
             # Jump to the next release event.
             future = flow_release[(~finished_flows) & (flow_release > time + 1e-12)]
             if future.size == 0:
                 raise RuntimeError("no active coflows and no future releases")
             time = float(future.min())
             continue
+        active_set = set(int(j) for j in active)
 
-        order = list(priority_fn(time, flow_states, instance))
+        if priority_wants_arrays:
+            order = list(priority_fn(time, remaining, instance))
+        else:
+            order = list(priority_fn(time, flow_states, instance))
         seen = set(order)
         order.extend(j for j in range(num_coflows) if j not in seen)
-        allocation = allocate_rates(
-            instance, remaining, order, active_coflows=active_coflows
-        )
-        rates = allocation.rates
+        effective_seq = [int(j) for j in order if j in active_set]
+
+        # Coflows with a pending (unreleased, unfinished) flow break the
+        # proportional-drain invariant and must always be re-allocated.
+        pending_mask = (~released_flows) & (~finished_flows)
+        pending_coflows = set(np.unique(coflow_idx[pending_mask]).tolist())
+
+        residual = capacity.copy()
+        rates = np.zeros(num_flows, dtype=float)
+        chain_clean = incremental
+        for rank, j in enumerate(effective_seq):
+            if (
+                chain_clean
+                and rank < len(prev_seq)
+                and prev_seq[rank] == j
+                and j not in dirty
+                and j not in pending_coflows
+                and j in alloc_cache
+            ):
+                alloc = alloc_cache[j]
+                alloc_reused += 1
+            else:
+                chain_clean = False
+                alloc = allocator.coflow_allocation(j, remaining, residual)
+                alloc_cache[j] = alloc
+                dirty.discard(j)
+                alloc_computed += 1
+            if alloc.flow_idx.size:
+                rates[alloc.flow_idx] = alloc.flow_rates
+            residual = np.clip(residual - alloc.usage, 0.0, None)
+        prev_seq = effective_seq
         # Only released, unfinished flows may have positive rates.
         rates = np.where(released_flows, rates, 0.0)
 
@@ -229,17 +300,30 @@ def simulate_priority_schedule(
         # Advance.
         transmitted = rates * dt
         remaining = np.clip(remaining - transmitted, 0.0, None)
+        previous_time = time
         time += dt
         newly_finished = (~finished_flows) & (remaining <= RATE_TOL)
         for f in np.nonzero(newly_finished)[0]:
             flow_completion[f] = time
             flow_states[f].completion_time = time
         finished_flows |= newly_finished
-        for f, state in enumerate(flow_states):
-            state.remaining = float(remaining[f])
+        if not priority_wants_arrays:
+            # The FlowState mirrors only exist for legacy priority functions.
+            for f, state in enumerate(flow_states):
+                state.remaining = float(remaining[f])
+
+        # Invalidate allocations whose inputs this event changed: coflows
+        # that completed a flow, and coflows that gained a released flow.
+        crossed_release = (flow_release > previous_time + 1e-12) & (
+            flow_release <= time + 1e-12
+        )
+        changed = newly_finished | crossed_release
+        if changed.any():
+            dirty.update(np.unique(coflow_idx[changed]).tolist())
+
+    wall_seconds = time_module.perf_counter() - wall_start
 
     coflow_completion = np.zeros(num_coflows, dtype=float)
-    coflow_idx = instance.coflow_of_flow()
     np.maximum.at(coflow_completion, coflow_idx, flow_completion)
     # A coflow can never finish before it was released.
     coflow_completion = np.maximum(coflow_completion, coflow_release)
@@ -249,22 +333,71 @@ def simulate_priority_schedule(
         coflow_completion_times=coflow_completion,
         flow_completion_times=flow_completion,
         timeline=timeline,
-        metadata={"events": events},
+        metadata={
+            "events": events,
+            "implementation": "incremental" if incremental else "full",
+            "allocations_computed": alloc_computed,
+            "allocations_reused": alloc_reused,
+            "seconds": wall_seconds,
+            "events_per_sec": events / wall_seconds if wall_seconds > 0 else float("inf"),
+        },
     )
 
 
+def remaining_fraction_priority(
+    instance: CoflowInstance,
+    standalone: np.ndarray,
+    *,
+    standalone_tiebreak: bool = False,
+) -> PriorityFunction:
+    """Shortest-remaining-estimate priority shared by Terra and SEBF.
+
+    A coflow's remaining time is estimated as its standalone completion
+    time scaled by the fraction of demand still outstanding.  With
+    *standalone_tiebreak* the secondary sort key is the standalone time
+    (Terra's SRTF ordering); otherwise ties fall through to the coflow
+    index directly (SEBF).
+    """
+    coflow_idx = instance.coflow_of_flow()
+    totals = instance.coflow_total_demands()
+    tiebreak = np.arange(instance.num_coflows)
+
+    @array_priority
+    def priority(
+        time: float, remaining: np.ndarray, inst: CoflowInstance
+    ) -> List[int]:
+        left = np.bincount(
+            coflow_idx, weights=np.maximum(remaining, 0.0), minlength=totals.size
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fraction = np.where(totals > 0, left / totals, 0.0)
+        remaining_time = fraction * standalone
+        # lexsort keys are minor-to-major: this matches the original
+        # sorted() tuple orderings of the Terra / SEBF baselines.
+        if standalone_tiebreak:
+            keys = (tiebreak, standalone, remaining_time)
+        else:
+            keys = (tiebreak, remaining_time)
+        return np.lexsort(keys).tolist()
+
+    return priority
+
+
+@array_priority
 def fifo_priority(
     time: float, flow_states: Sequence[FlowState], instance: CoflowInstance
 ) -> List[int]:
     """First-released, first-served priority (ties broken by coflow index)."""
     release = _coflow_release_times(instance)
-    return sorted(range(instance.num_coflows), key=lambda j: (release[j], j))
+    order = np.lexsort((np.arange(instance.num_coflows), release))
+    return order.tolist()
 
 
 def static_order_priority(order: Sequence[int]) -> PriorityFunction:
     """A priority function that always returns the same fixed order."""
     fixed = list(order)
 
+    @array_priority
     def priority(
         time: float, flow_states: Sequence[FlowState], instance: CoflowInstance
     ) -> List[int]:

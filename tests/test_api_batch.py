@@ -5,6 +5,7 @@ import pytest
 
 from repro import api
 from repro.api import SolverConfig, UnknownAlgorithmError, solve_many
+from repro.core.timeindexed import solve_time_indexed_lp
 from repro.coflow.coflow import Coflow
 from repro.coflow.flow import Flow
 from repro.coflow.instance import CoflowInstance
@@ -130,3 +131,63 @@ class TestSolveManyValidation:
     def test_share_lp_disabled(self, instances):
         reports = solve_many(instances[:1], ["fifo"], share_lp=False)
         assert reports[0].lower_bound is None
+
+
+class TestSharedLPGridKeying:
+    """The shared LP is only reused when the request resolves to its grid."""
+
+    def test_matching_grid_is_reused(self, instances):
+        instance = instances[0]
+        shared = solve_time_indexed_lp(instance)
+        report = api.solve(instance, "lp-heuristic", lp_solution=shared)
+        assert report.lp_solution is shared
+
+    def test_epsilon_mismatch_triggers_fresh_solve(self, caplog):
+        import logging
+
+        # Demands large enough that the geometric eps-grid genuinely differs
+        # from the uniform grid (for short horizons the two coincide and
+        # reuse would be legitimate).
+        graph = paper_example_topology()
+        coflows = [
+            Coflow([Flow("v1", "t", 6.0)], name="a"),
+            Coflow([Flow("s", "t", 9.0)], name="b"),
+        ]
+        instance = CoflowInstance(graph, coflows, model="free_path")
+        shared = solve_time_indexed_lp(instance)  # uniform grid
+        with caplog.at_level(logging.DEBUG, logger="repro.core.scheduler"):
+            report = api.solve(
+                instance, "lp-heuristic", lp_solution=shared, epsilon=0.4
+            )
+        # The mismatched shared solution must not be reused...
+        assert report.lp_solution is not shared
+        assert not report.lp_solution.grid.is_uniform
+        # ...and the skip is logged at debug level.
+        assert any(
+            "shared LP reuse skipped" in record.message for record in caplog.records
+        )
+
+    def test_explicit_grid_mismatch_triggers_fresh_solve(self, instances):
+        from repro.schedule.timegrid import TimeGrid
+
+        instance = instances[0]
+        shared = solve_time_indexed_lp(instance)
+        other_grid = TimeGrid.uniform(shared.grid.num_slots + 3, 1.0)
+        report = api.solve(
+            instance, "lp-heuristic", lp_solution=shared, grid=other_grid
+        )
+        assert report.lp_solution is not shared
+        assert report.lp_solution.grid == other_grid
+
+    def test_batch_reuses_one_lp_per_instance(self, instances):
+        # Both shared-lp algorithms of one request must hold the same LP
+        # solution object (one solve per instance).
+        reports = solve_many(
+            instances[:2],
+            ("lp-heuristic", "stretch-best"),
+            config=SolverConfig(rng=1, num_samples=2),
+        )
+        for i in range(2):
+            a = reports[2 * i]
+            b = reports[2 * i + 1]
+            assert a.lp_solution is b.lp_solution

@@ -1,0 +1,91 @@
+"""Smoke tests for the ``repro bench`` harness and its report plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf.harness import (
+    bench_lp_build,
+    bench_simulator,
+    compare_reports,
+    find_previous_report,
+    format_report,
+    run_bench,
+    write_report,
+)
+
+
+class TestScenarios:
+    def test_lp_build_scenario(self):
+        scenario = bench_lp_build(quick=True, repeats=1)
+        assert scenario["cases"], "lp_build produced no cases"
+        for case in scenario["cases"]:
+            assert case["nnz"] > 0
+            assert case["rows"] > 0
+            assert case["build_seconds"] > 0
+            assert case["solve_seconds"] > 0
+            # The vectorized builder must never be slower than the loops.
+            assert case["build_speedup"] > 1.0
+        assert scenario["summary"]["min_build_speedup"] > 1.0
+
+    def test_simulator_scenario(self):
+        scenario = bench_simulator(quick=True, repeats=1)
+        assert scenario["cases"]
+        for case in scenario["cases"]:
+            assert case["events"] > 0
+            assert case["events_per_sec"] > 0
+            assert case["incremental_matches_full"]
+            assert case["reference_objective_rel_diff"] < 1e-2
+        assert scenario["summary"]["all_match"]
+
+
+class TestReportPlumbing:
+    def test_write_find_compare_roundtrip(self, tmp_path):
+        report = run_bench(quick=True, repeats=1, scenarios=["shared_lp_batch"])
+        assert "shared_lp_batch" in report["scenarios"]
+        first = write_report(report, tmp_path)
+        assert first.name.startswith("BENCH_") and first.suffix == ".json"
+        assert find_previous_report(tmp_path) == first
+
+        previous = json.loads(first.read_text())
+        comparison = compare_reports(previous, report)
+        rows = comparison["scenarios"]["shared_lp_batch"]
+        assert rows and "seconds_ratio" in rows[0]
+
+        report["comparison"] = {**comparison, "previous": first.name}
+        rendered = format_report(report)
+        assert "Batch runner" in rendered
+        assert "Trajectory" in rendered
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_bench(scenarios=["nope"])
+
+
+class TestCli:
+    def test_bench_command_writes_json(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "bench",
+                "--quick",
+                "--repeats",
+                "1",
+                "--scenario",
+                "shared_lp_batch",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        produced = list(tmp_path.glob("BENCH_*.json"))
+        assert len(produced) == 1
+        payload = json.loads(produced[0].read_text())
+        assert payload["schema"] == 1
+        assert "shared_lp_batch" in payload["scenarios"]
+
+    def test_bench_unknown_scenario_exit_code(self, tmp_path):
+        code = cli_main(
+            ["bench", "--scenario", "bogus", "--output", str(tmp_path)]
+        )
+        assert code == 2

@@ -1,0 +1,244 @@
+"""Regression tests: incremental simulator vs full re-allocation vs reference.
+
+The contract protected here:
+
+* ``incremental=True`` reproduces ``incremental=False`` event-for-event
+  (same events, same piecewise-constant rates, same completion times);
+* for the single path model (closed-form allocation, no LP degeneracy) both
+  also reproduce the preserved loop-based reference exactly;
+* for the free path model the reference is matched at the objective level
+  (a degenerate max-concurrent-flow LP may admit several optimal routings,
+  which legitimately shifts later completion times a little);
+* the standalone-time cache returns consistent values without re-solving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance
+from repro.network.topologies import paper_example_topology, parallel_edges_topology
+from repro.sim.rate_allocation import (
+    allocate_rates,
+    coflow_standalone_time,
+    get_rate_allocator,
+)
+from repro.sim.reference import (
+    allocate_rates_reference,
+    simulate_priority_schedule_reference,
+    srtf_priority_reference,
+    standalone_times_reference,
+)
+from repro.sim.simulator import (
+    fifo_priority,
+    remaining_fraction_priority,
+    simulate_priority_schedule,
+    static_order_priority,
+)
+
+
+def single_path_instance() -> CoflowInstance:
+    graph = parallel_edges_topology(3, capacity=2.0)
+    coflows = [
+        Coflow(
+            [
+                Flow("x1", "y1", 4.0, path=("x1", "y1")),
+                Flow("x2", "y2", 2.0, path=("x2", "y2")),
+            ],
+            name="A",
+        ),
+        Coflow([Flow("x1", "y1", 2.0, path=("x1", "y1"))], name="B", release_time=0.5),
+        Coflow(
+            [
+                Flow("x2", "y2", 1.0, path=("x2", "y2")),
+                Flow("x3", "y3", 3.0, path=("x3", "y3"), release_time=2.0),
+            ],
+            name="C",
+        ),
+        Coflow([Flow("x3", "y3", 1.5, path=("x3", "y3"))], name="D", release_time=1.0),
+    ]
+    return CoflowInstance(graph, coflows, model="single_path")
+
+
+def free_path_instance() -> CoflowInstance:
+    graph = paper_example_topology()
+    coflows = [
+        Coflow([Flow("s", "t", 3.0)], name="blue"),
+        Coflow([Flow("v1", "t", 1.0)], name="red", release_time=0.4),
+        Coflow([Flow("v2", "t", 1.2), Flow("s", "v3", 0.8)], name="green"),
+    ]
+    return CoflowInstance(graph, coflows, model="free_path")
+
+
+def srtf_like_priority(instance: CoflowInstance):
+    """A dynamic array-based priority that reshuffles as coflows drain."""
+    standalone = np.array(
+        [coflow_standalone_time(instance, j) for j in range(instance.num_coflows)]
+    )
+    return remaining_fraction_priority(
+        instance, standalone, standalone_tiebreak=True
+    )
+
+
+def assert_event_for_event(a, b, *, rtol=1e-9, atol=1e-9):
+    assert a.metadata["events"] == b.metadata["events"]
+    np.testing.assert_allclose(
+        a.flow_completion_times, b.flow_completion_times, rtol=rtol, atol=atol
+    )
+    np.testing.assert_allclose(
+        a.coflow_completion_times, b.coflow_completion_times, rtol=rtol, atol=atol
+    )
+    assert len(a.timeline) == len(b.timeline)
+    for ta, tb in zip(a.timeline, b.timeline):
+        assert ta.start == pytest.approx(tb.start, abs=1e-9)
+        assert ta.end == pytest.approx(tb.end, abs=1e-9)
+        np.testing.assert_allclose(ta.rates, tb.rates, rtol=1e-7, atol=1e-9)
+
+
+class TestIncrementalMatchesFull:
+    @pytest.mark.parametrize(
+        "make_instance", [single_path_instance, free_path_instance]
+    )
+    def test_dynamic_priority(self, make_instance):
+        instance = make_instance()
+        priority = srtf_like_priority(instance)
+        inc = simulate_priority_schedule(
+            instance, priority, record_timeline=True, incremental=True
+        )
+        full = simulate_priority_schedule(
+            instance, priority, record_timeline=True, incremental=False
+        )
+        assert_event_for_event(inc, full)
+        assert inc.metadata["implementation"] == "incremental"
+        assert full.metadata["implementation"] == "full"
+
+    @pytest.mark.parametrize(
+        "make_instance", [single_path_instance, free_path_instance]
+    )
+    def test_static_and_fifo_priorities(self, make_instance):
+        instance = make_instance()
+        for priority in (
+            fifo_priority,
+            static_order_priority(range(instance.num_coflows)),
+        ):
+            inc = simulate_priority_schedule(
+                instance, priority, record_timeline=True, incremental=True
+            )
+            full = simulate_priority_schedule(
+                instance, priority, record_timeline=True, incremental=False
+            )
+            assert_event_for_event(inc, full)
+
+    def test_reuse_actually_happens(self):
+        instance = single_path_instance()
+        inc = simulate_priority_schedule(
+            instance, static_order_priority(range(instance.num_coflows))
+        )
+        assert inc.metadata["allocations_reused"] > 0
+        total = (
+            inc.metadata["allocations_reused"] + inc.metadata["allocations_computed"]
+        )
+        assert inc.metadata["allocations_computed"] < total
+
+
+class TestAgainstLoopReference:
+    def test_single_path_exact(self):
+        # Closed-form allocation: no LP degeneracy, the reference must be
+        # reproduced to float tolerance.
+        instance = single_path_instance()
+        standalone = standalone_times_reference(instance)
+        legacy = srtf_priority_reference(instance, standalone)
+        ref = simulate_priority_schedule_reference(
+            instance, legacy, record_timeline=True
+        )
+        inc = simulate_priority_schedule(
+            instance,
+            srtf_like_priority(instance),
+            record_timeline=True,
+            incremental=True,
+        )
+        assert_event_for_event(inc, ref, rtol=1e-7, atol=1e-9)
+
+    def test_free_path_objective_level(self):
+        instance = free_path_instance()
+        standalone = standalone_times_reference(instance)
+        legacy = srtf_priority_reference(instance, standalone)
+        ref = simulate_priority_schedule_reference(instance, legacy)
+        inc = simulate_priority_schedule(
+            instance, srtf_like_priority(instance), incremental=True
+        )
+        assert inc.metadata["events"] == ref.metadata["events"]
+        ref_objective = float(
+            np.dot(instance.weights, ref.coflow_completion_times)
+        )
+        inc_objective = float(
+            np.dot(instance.weights, inc.coflow_completion_times)
+        )
+        assert inc_objective == pytest.approx(ref_objective, rel=1e-3)
+
+    def test_one_round_allocation_matches_reference(self):
+        for instance in (single_path_instance(), free_path_instance()):
+            remaining = instance.demands().copy()
+            order = list(range(instance.num_coflows))
+            new = allocate_rates(instance, remaining, order, active_coflows=order)
+            old = allocate_rates_reference(
+                instance, remaining, order, active_coflows=order
+            )
+            np.testing.assert_allclose(new.rates, old.rates, rtol=1e-6, atol=1e-8)
+            np.testing.assert_allclose(
+                new.residual_capacity, old.residual_capacity, rtol=1e-6, atol=1e-6
+            )
+
+
+class TestStandaloneCache:
+    def test_cached_value_is_stable(self):
+        instance = free_path_instance()
+        first = coflow_standalone_time(instance, 0)
+        allocator = get_rate_allocator(instance)
+        cache_size = len(allocator._standalone_cache)
+        second = coflow_standalone_time(instance, 0)
+        assert second == first
+        assert len(allocator._standalone_cache) == cache_size  # hit, no new entry
+
+    def test_matches_reference_times(self):
+        for instance in (single_path_instance(), free_path_instance()):
+            ref = standalone_times_reference(instance)
+            new = np.array(
+                [
+                    coflow_standalone_time(instance, j)
+                    for j in range(instance.num_coflows)
+                ]
+            )
+            np.testing.assert_allclose(new, ref, rtol=1e-8, atol=1e-10)
+
+    def test_distinct_remaining_gets_distinct_entry(self):
+        instance = single_path_instance()
+        base = coflow_standalone_time(instance, 0)
+        halved = coflow_standalone_time(
+            instance, 0, remaining=instance.demands() * 0.5
+        )
+        assert halved == pytest.approx(base * 0.5)
+
+
+class TestLegacyPriorityProtocol:
+    def test_flow_state_priorities_still_work(self):
+        # A legacy (non-array) priority function keeps receiving FlowState
+        # objects with live remaining values.
+        instance = single_path_instance()
+        seen_states = []
+
+        def legacy_priority(time, flow_states, inst):
+            seen_states.append([s.remaining for s in flow_states])
+            return list(range(inst.num_coflows))
+
+        legacy = simulate_priority_schedule(instance, legacy_priority)
+        fast = simulate_priority_schedule(
+            instance, static_order_priority(range(instance.num_coflows))
+        )
+        np.testing.assert_allclose(
+            legacy.coflow_completion_times, fast.coflow_completion_times
+        )
+        # remaining values must have been updated between events
+        assert len(seen_states) >= 2
+        assert seen_states[0] != seen_states[-1]
