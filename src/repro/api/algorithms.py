@@ -122,6 +122,7 @@ def _solve_stretch_best(
     "stretch-average",
     uses_shared_lp=True,
     randomized=True,
+    objective_is_wct=False,  # mean over draws; times describe the best draw
     description='mean objective over N λ draws (the paper\'s "Average λ")',
 )
 def _solve_stretch_average(

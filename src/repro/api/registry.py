@@ -76,6 +76,13 @@ class AlgorithmInfo:
         every such algorithm.
     randomized:
         Whether results depend on ``SolverConfig.rng``.
+    objective_is_wct:
+        Whether ``SolveReport.objective`` equals the weighted completion
+        time of the reported ``coflow_completion_times`` (true for almost
+        everything; ``stretch-average`` reports the mean over λ draws while
+        its completion times describe only the best draw).  Consistency
+        checkers — e.g. the ``report-consistency`` invariant of
+        ``repro.scenarios`` — key off this flag.
     description:
         One-line description (shown by ``available_algorithms`` consumers
         such as the CLI and the README table).
@@ -86,6 +93,7 @@ class AlgorithmInfo:
     supported_models: Tuple[TransmissionModel, ...] = ALL_MODELS
     uses_shared_lp: bool = False
     randomized: bool = False
+    objective_is_wct: bool = True
     description: str = ""
 
     def supports(self, model: TransmissionModel) -> bool:
@@ -109,6 +117,7 @@ def register_algorithm(
     supported_models: Iterable[TransmissionModel] = ALL_MODELS,
     uses_shared_lp: bool = False,
     randomized: bool = False,
+    objective_is_wct: bool = True,
     description: str = "",
 ) -> Callable[[SolverFn], SolverFn]:
     """Decorator registering *solver* under *name*.
@@ -124,6 +133,7 @@ def register_algorithm(
             supported_models=tuple(supported_models),
             uses_shared_lp=uses_shared_lp,
             randomized=randomized,
+            objective_is_wct=objective_is_wct,
             description=description,
         )
         return solver

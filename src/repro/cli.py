@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Seven commands cover the common workflows without writing any Python:
+Eight commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -24,6 +24,11 @@ Seven commands cover the common workflows without writing any Python:
     assembly and the incremental simulator against their preserved
     pre-optimization references, written to ``BENCH_<date>.json`` and
     compared against the previous report.
+``verify``
+    Run the differential-verification harness (:mod:`repro.scenarios`):
+    sample scenarios across every registered family, run every registered
+    algorithm on each, and cross-check the invariant suite against the
+    library's oracles.  Writes a machine-readable ``VERIFY_<date>.json``.
 """
 
 from __future__ import annotations
@@ -128,6 +133,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compare",
         action="store_true",
         help="skip the comparison against the previous BENCH_*.json",
+    )
+
+    verify = sub.add_parser(
+        "verify",
+        help="differentially verify every algorithm on sampled scenarios",
+    )
+    verify.add_argument(
+        "--budget", type=int, default=20, help="number of scenarios to sample"
+    )
+    verify.add_argument("--seed", type=int, default=0, help="root scenario seed")
+    verify.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        help="sample only this scenario family (repeatable); default: all",
+    )
+    verify.add_argument(
+        "--algorithms",
+        default=None,
+        help="comma-separated algorithm names (default: every registered one)",
+    )
+    verify.add_argument(
+        "--invariant",
+        action="append",
+        dest="invariants",
+        help="check only this invariant (repeatable); default: all",
+    )
+    verify.add_argument(
+        "--output",
+        default=".",
+        help="directory (or .json file path) for the VERIFY report (default: .)",
+    )
+    verify.add_argument(
+        "--list-families",
+        action="store_true",
+        help="list the registered scenario families and invariants, then exit",
     )
 
     return parser
@@ -264,11 +305,8 @@ def _cmd_experiment(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
-    import json
-
     from repro.perf.harness import (
-        compare_reports,
-        find_previous_report,
+        compare_with_previous,
         format_report,
         run_bench,
         write_report,
@@ -282,24 +320,55 @@ def _cmd_bench(args, out) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if not args.no_compare:
-        previous_path = find_previous_report(args.output)
-        if previous_path is not None:
-            try:
-                previous = json.loads(previous_path.read_text())
-            except (OSError, json.JSONDecodeError) as exc:
-                print(
-                    f"warning: skipping comparison, could not read "
-                    f"{previous_path.name}: {exc}",
-                    file=sys.stderr,
-                )
-            else:
-                comparison = compare_reports(previous, report)
-                comparison["previous"] = previous_path.name
-                report["comparison"] = comparison
+        # Tolerates an empty trajectory (no prior BENCH_*.json) and
+        # unreadable/foreign previous files — see compare_with_previous.
+        report["comparison"] = compare_with_previous(report, args.output)
     path = write_report(report, args.output)
     print(format_report(report), file=out)
     print(f"wrote {path}", file=out)
     return 0
+
+
+def _cmd_verify(args, out) -> int:
+    from repro.scenarios import (
+        family_table,
+        format_verification_report,
+        get_invariant,
+        invariant_names,
+        run_verification,
+        write_verification_report,
+    )
+
+    if args.list_families:
+        print("scenario families:", file=out)
+        for family in family_table():
+            print(f"  {family.name:<18s} {family.description}", file=out)
+        print("invariants:", file=out)
+        for name in invariant_names():
+            print(f"  {name:<22s} {get_invariant(name).description}", file=out)
+        return 0
+    algorithms = None
+    if args.algorithms:
+        algorithms = [
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ]
+    try:
+        # Unknown family/algorithm/invariant names all fail fast inside
+        # run_verification, before any scenario is generated or solved.
+        report = run_verification(
+            args.budget,
+            args.seed,
+            families=args.families,
+            algorithms=algorithms,
+            invariants=args.invariants,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = write_verification_report(report, args.output)
+    print(format_verification_report(report), file=out)
+    print(f"wrote {path}", file=out)
+    return 0 if report["summary"]["ok"] else 1
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -320,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_experiment(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

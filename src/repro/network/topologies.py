@@ -165,6 +165,58 @@ def ring_topology(num_nodes: int, capacity: float = 1.0) -> NetworkGraph:
     return graph
 
 
+def fat_tree_topology(
+    num_tors: int = 4,
+    hosts_per_tor: int = 2,
+    *,
+    host_capacity: float = 1.0,
+    oversubscription: float = 1.0,
+    num_cores: int = 2,
+) -> NetworkGraph:
+    """A two-tier leaf/spine fat tree with a tunable oversubscription ratio.
+
+    Hosts ``t{i}h{j}`` attach to their top-of-rack switch ``tor{i}`` with
+    *host_capacity* links; every ToR attaches to each of *num_cores* core
+    switches.  The total uplink bandwidth of a ToR is its total downlink
+    bandwidth divided by *oversubscription*:
+
+    * ``oversubscription=1`` — a rearrangeably non-blocking fabric (any
+      host-to-host traffic matrix that respects host line rates fits);
+    * ``oversubscription=k > 1`` — classic datacenter oversubscription: the
+      core can carry only ``1/k`` of the aggregate host demand, so
+      cross-rack coflows contend exactly the way the scenario engine's
+      ``oversubscribed`` family wants to stress.
+
+    With ``num_cores >= 2`` distinct core switches give cross-rack flows
+    genuine path diversity, which exercises the free path model's joint
+    routing + scheduling (single-path instances pin one shortest path per
+    flow as usual).
+    """
+    if num_tors < 2:
+        raise ValueError("num_tors must be at least 2")
+    if hosts_per_tor < 1:
+        raise ValueError("hosts_per_tor must be at least 1")
+    if num_cores < 1:
+        raise ValueError("num_cores must be at least 1")
+    check_positive(host_capacity, "host_capacity")
+    check_positive(oversubscription, "oversubscription")
+    uplink = hosts_per_tor * host_capacity / (oversubscription * num_cores)
+    graph = NetworkGraph(
+        name=f"fat-tree-{num_tors}x{hosts_per_tor}-o{oversubscription:g}"
+    )
+    for i in range(1, num_tors + 1):
+        for j in range(1, hosts_per_tor + 1):
+            graph.add_bidirected_edge(f"t{i}h{j}", f"tor{i}", host_capacity)
+        for c in range(1, num_cores + 1):
+            graph.add_bidirected_edge(f"tor{i}", f"core{c}", uplink)
+    return graph
+
+
+def fat_tree_hosts(graph: NetworkGraph) -> Tuple[str, ...]:
+    """The host nodes of a :func:`fat_tree_topology` graph (sorted)."""
+    return tuple(sorted(n for n in graph.nodes if "h" in n and n.startswith("t")))
+
+
 def parallel_edges_topology(
     num_machines: int, capacity: float = 1.0
 ) -> NetworkGraph:
@@ -194,7 +246,11 @@ def named_topology(name: str, capacity_scale: float = 1.0) -> NetworkGraph:
         return paper_example_topology()
     if key in ("figure-1", "figure1"):
         return figure1_topology()
+    if key in ("fat-tree", "fattree"):
+        return fat_tree_topology(host_capacity=capacity_scale)
+    if key in ("fat-tree-oversubscribed", "oversubscribed"):
+        return fat_tree_topology(host_capacity=capacity_scale, oversubscription=4.0)
     raise KeyError(
         f"unknown topology {name!r}; expected one of 'swan', 'gscale', "
-        "'paper-example', 'figure-1'"
+        "'paper-example', 'figure-1', 'fat-tree', 'fat-tree-oversubscribed'"
     )

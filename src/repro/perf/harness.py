@@ -400,9 +400,49 @@ def write_report(report: Dict, output_dir: str | Path = ".") -> Path:
 
 
 def find_previous_report(output_dir: str | Path = ".") -> Optional[Path]:
-    """The most recent ``BENCH_*.json`` in *output_dir*, if any."""
-    candidates = sorted(Path(output_dir).glob("BENCH_*.json"))
+    """The most recent ``BENCH_*.json`` in *output_dir*, if any.
+
+    An output directory that does not exist yet (a fresh checkout's first
+    bench run) simply has no trajectory: the result is ``None``, not an
+    error.
+    """
+    directory = Path(output_dir)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(directory.glob("BENCH_*.json"))
     return candidates[-1] if candidates else None
+
+
+def compare_with_previous(report: Dict, output_dir: str | Path = ".") -> Dict:
+    """The full comparison path: find, load and diff the previous report.
+
+    This is the single entry point the CLI (and ``benchmarks/harness.py``)
+    use, and it never assumes a previous report exists or parses: an empty
+    trajectory (no prior ``BENCH_*.json``, e.g. the first run in a fresh
+    checkout or CI workspace) yields ``{"previous": None, "skipped": ...}``
+    marking this run as the trajectory's first point, and an unreadable or
+    structurally foreign previous file is reported the same way instead of
+    raising.
+    """
+    previous_path = find_previous_report(output_dir)
+    if previous_path is None:
+        return {
+            "previous": None,
+            "scenarios": {},
+            "skipped": "no previous BENCH_*.json found; this report is the "
+            "first point of the trajectory",
+        }
+    try:
+        previous = json.loads(previous_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return {
+            "previous": previous_path.name,
+            "scenarios": {},
+            "skipped": f"could not read previous report: {exc}",
+        }
+    comparison = compare_reports(previous, report)
+    comparison["previous"] = previous_path.name
+    return comparison
 
 
 def compare_reports(previous: Dict, current: Dict) -> Dict:
@@ -412,9 +452,18 @@ def compare_reports(previous: Dict, current: Dict) -> Dict:
     Reports produced at different scales (``--quick`` vs full) are not
     comparable — the same case name covers different workload sizes — so
     the comparison is refused with an explanatory note, and individual
-    cases are only paired when their workload-size fields agree.
+    cases are only paired when their workload-size fields agree.  A
+    *previous* payload that is not a bench report at all (wrong JSON shape)
+    is refused the same way rather than raising.
     """
     comparison: Dict = {"scenarios": {}}
+    if not isinstance(previous, dict) or not isinstance(
+        previous.get("scenarios", {}), dict
+    ):
+        comparison["skipped"] = (
+            "previous report is not a bench report (unexpected JSON shape)"
+        )
+        return comparison
     if bool(previous.get("quick")) != bool(current.get("quick")):
         comparison["skipped"] = (
             "previous report was produced at a different scale "
@@ -428,7 +477,13 @@ def compare_reports(previous: Dict, current: Dict) -> Dict:
         prev_data = previous.get("scenarios", {}).get(scenario)
         if not prev_data:
             continue
-        prev_cases = {c["case"]: c for c in prev_data.get("cases", [])}
+        if not isinstance(prev_data, dict):
+            continue
+        prev_cases = {
+            c["case"]: c
+            for c in prev_data.get("cases", [])
+            if isinstance(c, dict) and "case" in c
+        }
         rows = []
         for cur_case in cur_data.get("cases", []):
             prev_case = prev_cases.get(cur_case["case"])
@@ -523,8 +578,17 @@ def format_report(report: Dict) -> str:
 
     comparison = report.get("comparison")
     if comparison:
+        if comparison.get("previous") is None:
+            lines.append(
+                "Trajectory: "
+                + comparison.get(
+                    "skipped", "no previous report; first trajectory point"
+                )
+            )
+            lines.append("")
+            return "\n".join(lines)
         lines.append(
-            f"Trajectory vs previous report ({comparison.get('previous', '?')}):"
+            f"Trajectory vs previous report ({comparison['previous']}):"
         )
         if comparison.get("skipped"):
             lines.append(f"  comparison skipped: {comparison['skipped']}")

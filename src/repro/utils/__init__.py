@@ -6,7 +6,7 @@ wall-clock timing (:mod:`repro.utils.timing`), and argument validation
 (:mod:`repro.utils.validation`).
 """
 
-from repro.utils.rng import RandomSource, spawn_rng
+from repro.utils.rng import RandomSource, derive_rng, derive_seed, spawn_rng
 from repro.utils.timing import Stopwatch, timed
 from repro.utils.validation import (
     check_finite,
@@ -18,6 +18,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "RandomSource",
+    "derive_rng",
+    "derive_seed",
     "spawn_rng",
     "Stopwatch",
     "timed",

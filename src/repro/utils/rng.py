@@ -6,10 +6,31 @@ accepts either an integer seed or a :class:`numpy.random.Generator`.  This
 module centralizes the conversion so that experiments are reproducible
 bit-for-bit and independent components can draw from statistically
 independent streams.
+
+Seed derivation scheme
+----------------------
+Components that need *named*, order-independent child streams (the scenario
+engine derives one stream per ``(family, index)``) must not derive them by
+drawing from a shared generator: the derived seed would then depend on how
+many values other components drew first, and on the process's import/call
+order — which differs between a serial run, a ``ProcessPoolExecutor`` worker
+and a pytest worker.  Python's built-in ``hash()`` is also off the table
+(string hashing is randomized per process unless ``PYTHONHASHSEED`` is
+pinned).
+
+:func:`derive_seed` therefore derives child seeds *statelessly*: the root
+seed and every component of the key path are rendered to their canonical
+decimal/text form and fed through BLAKE2b (an endianness- and
+process-independent hash); the first 8 digest bytes, interpreted big-endian
+and truncated to 63 bits, are the child seed.  The same
+``(root, *path)`` always yields the same seed, in any process, on any
+platform — which is what makes scenario generation bit-reproducible.
+:func:`derive_rng` wraps the derived seed in a PCG64 generator.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional, Union
 
 import numpy as np
@@ -65,6 +86,50 @@ def spawn_rng(source: RandomSource, count: int) -> list[np.random.Generator]:
     else:
         seq = np.random.SeedSequence(source)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(root: int, *path: Union[str, int]) -> int:
+    """Derive a child seed from *root* and a structured key *path*.
+
+    The derivation is stateless and bit-reproducible across processes and
+    platforms (see the module docstring for the scheme).  Typical use::
+
+        seed = derive_seed(2026, "zipf-sizes", 3)   # family "zipf-sizes", scenario 3
+        rng = derive_rng(2026, "zipf-sizes", 3)     # the corresponding generator
+
+    Parameters
+    ----------
+    root:
+        The experiment's root seed (any Python int, may be negative).
+    path:
+        Any mix of strings and ints naming the child stream.  Paths are
+        unambiguous: components are length-prefixed before hashing, so
+        ``("ab", "c")`` and ``("a", "bc")`` derive different seeds.
+
+    Returns
+    -------
+    int
+        A seed in ``[0, 2**63)``, suitable for :func:`as_generator` and
+        ``numpy.random.SeedSequence``.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    root_bytes = str(int(root)).encode("utf-8")
+    digest.update(str(len(root_bytes)).encode("ascii") + b":" + root_bytes)
+    for part in path:
+        if isinstance(part, bool) or not isinstance(part, (str, int)):
+            raise TypeError(
+                f"seed path components must be str or int, got {part!r}"
+            )
+        rendered = (
+            ("i" + str(part)) if isinstance(part, int) else ("s" + part)
+        ).encode("utf-8")
+        digest.update(str(len(rendered)).encode("ascii") + b":" + rendered)
+    return int.from_bytes(digest.digest(), "big") & (2**63 - 1)
+
+
+def derive_rng(root: int, *path: Union[str, int]) -> np.random.Generator:
+    """A PCG64 generator seeded with :func:`derive_seed` of the same arguments."""
+    return np.random.default_rng(derive_seed(root, *path))
 
 
 def stream_seeds(source: RandomSource, count: int) -> list[int]:

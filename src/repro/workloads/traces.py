@@ -1,20 +1,29 @@
-"""Trace (de)serialization.
+"""Trace (de)serialization and replay.
 
 Workloads can be saved to and loaded from a small JSON format so that
 experiment runs are exactly repeatable and traces can be exchanged without
 re-running the generators.  The format is the one produced by
 ``CoflowInstance.to_dict`` for full instances, or a bare list of coflows for
 topology-independent traces.
+
+:func:`replay_trace` is the replay hook used by the scenario engine's
+``trace-replay`` family: it loads a saved trace and rebuilds a runnable
+:class:`CoflowInstance` on a (possibly different) topology, deterministically
+remapping endpoints that do not exist on the target graph and re-pinning
+shortest paths for the single path model.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.coflow.coflow import Coflow
-from repro.coflow.instance import CoflowInstance
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.graph import NetworkGraph
+from repro.utils.rng import RandomSource, as_generator
 
 TraceLike = Union[CoflowInstance, List[Coflow]]
 
@@ -49,6 +58,79 @@ def load_coflows(path: str | Path) -> List[Coflow]:
     if isinstance(trace, CoflowInstance):
         return list(trace.coflows)
     return trace
+
+
+def replay_coflows(
+    coflows: List[Coflow],
+    graph: NetworkGraph,
+    *,
+    model: TransmissionModel | str = TransmissionModel.FREE_PATH,
+    rng: RandomSource = None,
+    name: str = "trace-replay",
+) -> CoflowInstance:
+    """Replay a (possibly foreign) coflow trace on *graph*.
+
+    Endpoints present on *graph* are kept as-is; endpoints the graph does not
+    know are remapped onto its nodes by a deterministic random assignment
+    (one mapping per distinct foreign node, drawn from *rng*), preserving the
+    trace's communication structure — two flows that shared a source keep
+    sharing one.  A flow whose remapped source and sink coincide is nudged to
+    the next node.  Pinned paths from the originating topology are dropped;
+    the single path model re-pins random shortest paths on the target graph.
+    """
+    model = TransmissionModel.parse(model)
+    gen = as_generator(rng)
+    nodes = list(graph.nodes)
+    if len(nodes) < 2:
+        raise ValueError("need at least two nodes to replay a trace")
+    foreign = sorted(
+        {
+            endpoint
+            for coflow in coflows
+            for flow in coflow.flows
+            for endpoint in (flow.source, flow.sink)
+            if not graph.has_node(endpoint)
+        }
+    )
+    mapping: Dict[str, str] = {
+        node: str(nodes[int(gen.integers(0, len(nodes)))]) for node in foreign
+    }
+
+    def _remap(endpoint: str) -> str:
+        return mapping.get(endpoint, endpoint)
+
+    replayed: List[Coflow] = []
+    for coflow in coflows:
+        flows = []
+        for flow in coflow.flows:
+            src, dst = _remap(flow.source), _remap(flow.sink)
+            if src == dst:
+                dst = str(nodes[(nodes.index(dst) + 1) % len(nodes)])
+            flows.append(dataclasses.replace(flow, source=src, sink=dst, path=None))
+        replayed.append(dataclasses.replace(coflow, flows=tuple(flows)))
+    if model is TransmissionModel.SINGLE_PATH:
+        from repro.network.paths import pin_random_shortest_paths
+
+        replayed = pin_random_shortest_paths(graph, replayed, gen)
+    return CoflowInstance(graph, replayed, model=model, name=name)
+
+
+def replay_trace(
+    path: str | Path,
+    graph: NetworkGraph,
+    *,
+    model: TransmissionModel | str = TransmissionModel.FREE_PATH,
+    rng: RandomSource = None,
+    name: Optional[str] = None,
+) -> CoflowInstance:
+    """Load the trace at *path* and replay it on *graph* (see :func:`replay_coflows`)."""
+    return replay_coflows(
+        load_coflows(path),
+        graph,
+        model=model,
+        rng=rng,
+        name=name or f"replay:{Path(path).stem}",
+    )
 
 
 def trace_summary(trace: TraceLike) -> dict:

@@ -9,6 +9,7 @@ from repro.perf.harness import (
     bench_lp_build,
     bench_simulator,
     compare_reports,
+    compare_with_previous,
     find_previous_report,
     format_report,
     run_bench,
@@ -61,6 +62,71 @@ class TestReportPlumbing:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError):
             run_bench(scenarios=["nope"])
+
+
+class TestEmptyTrajectory:
+    """The comparison path must not assume a previous report exists."""
+
+    REPORT = {"quick": True, "scenarios": {}}
+
+    def test_find_previous_in_missing_directory(self, tmp_path):
+        assert find_previous_report(tmp_path / "never-created") is None
+
+    def test_first_run_is_marked_as_first_trajectory_point(self, tmp_path):
+        comparison = compare_with_previous(dict(self.REPORT), tmp_path)
+        assert comparison["previous"] is None
+        assert comparison["scenarios"] == {}
+        assert "first point" in comparison["skipped"]
+        rendered = format_report({**self.REPORT, "comparison": comparison})
+        assert "first point" in rendered
+
+    def test_unreadable_previous_report_is_skipped(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{not json")
+        comparison = compare_with_previous(dict(self.REPORT), tmp_path)
+        assert comparison["previous"] == "BENCH_1.json"
+        assert "could not read" in comparison["skipped"]
+
+    def test_foreign_json_previous_report_is_skipped(self, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("null")
+        comparison = compare_with_previous(dict(self.REPORT), tmp_path)
+        assert comparison["scenarios"] == {}
+        assert "skipped" in comparison
+        (tmp_path / "BENCH_2.json").write_text('{"scenarios": []}')
+        comparison = compare_with_previous(dict(self.REPORT), tmp_path)
+        assert "skipped" in comparison
+
+    def test_previous_cases_without_case_key_are_ignored(self):
+        previous = {
+            "quick": True,
+            "scenarios": {"lp_build": {"cases": [{"build_seconds": 1.0}, 17]}},
+        }
+        current = {
+            "quick": True,
+            "scenarios": {
+                "lp_build": {"cases": [{"case": "x", "build_seconds": 0.5}]}
+            },
+        }
+        comparison = compare_reports(previous, current)
+        assert comparison["scenarios"]["lp_build"] == []
+
+    def test_cli_bench_first_run_in_empty_directory(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "bench",
+                "--quick",
+                "--repeats",
+                "1",
+                "--scenario",
+                "shared_lp_batch",
+                "--output",
+                str(tmp_path / "fresh"),
+            ]
+        )
+        assert code == 0
+        produced = list((tmp_path / "fresh").glob("BENCH_*.json"))
+        assert len(produced) == 1
+        payload = json.loads(produced[0].read_text())
+        assert payload["comparison"]["previous"] is None
 
 
 class TestCli:

@@ -1,0 +1,220 @@
+"""End-to-end tests for the differential-verification harness and the
+``repro verify`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.scenarios import (
+    build_scenario,
+    format_verification_report,
+    invariant_names,
+    run_verification,
+    scenario_families,
+    verify_scenario,
+    write_verification_report,
+)
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    # Budget 8 > number of families, so index 1 (single path) scenarios are
+    # included and jahanjou gets coverage too.
+    return run_verification(budget=8, seed=0)
+
+
+class TestRunVerification:
+    def test_zero_violations_on_clean_build(self, small_report):
+        summary = small_report["summary"]
+        assert summary["ok"], json.dumps(small_report["scenarios"], indent=2)
+        assert summary["violations"] == 0
+        assert summary["crashes"] == 0
+
+    def test_all_families_and_both_models_covered(self, small_report):
+        assert small_report["summary"]["families_covered"] == sorted(
+            scenario_families()
+        )
+        models = {
+            block["scenario"]["model"] for block in small_report["scenarios"]
+        }
+        assert models == {"free_path", "single_path"}
+
+    def test_every_registered_algorithm_ran(self, small_report):
+        from repro.api import available_algorithms
+
+        assert small_report["summary"]["algorithms_run"] == sorted(
+            available_algorithms()
+        )
+
+    def test_every_invariant_checked_per_scenario(self, small_report):
+        for block in small_report["scenarios"]:
+            assert set(block["invariants"]) == set(invariant_names())
+            for outcome in block["invariants"].values():
+                assert outcome["ok"]
+
+    def test_report_is_json_serializable_and_reproducible(self, small_report):
+        json.dumps(small_report)
+        again = run_verification(budget=8, seed=0)
+        for a, b in zip(small_report["scenarios"], again["scenarios"]):
+            assert a["scenario"] == b["scenario"]
+            assert a["algorithms"].keys() == b["algorithms"].keys()
+            for name in a["algorithms"]:
+                assert a["algorithms"][name]["objective"] == pytest.approx(
+                    b["algorithms"][name]["objective"]
+                )
+
+    def test_unknown_algorithm_fails_fast(self):
+        with pytest.raises(ValueError):
+            run_verification(budget=1, seed=0, algorithms=["nope"])
+
+    def test_unknown_invariant_fails_fast(self):
+        with pytest.raises(ValueError):
+            run_verification(budget=1, seed=0, invariants=["nope"])
+
+    def test_algorithm_subset_filters_by_model(self):
+        report = run_verification(
+            budget=2, seed=0, families=["zipf-sizes"], algorithms=["terra", "fifo"]
+        )
+        blocks = report["scenarios"]
+        # zipf-sizes scenario 0 is free path (terra + fifo), scenario 1
+        # single path (terra skipped, fifo kept) — and skipping on one
+        # scenario must count neither as a crash nor as lost coverage.
+        assert set(blocks[0]["algorithms"]) == {"terra", "fifo"}
+        assert set(blocks[1]["algorithms"]) == {"fifo"}
+        assert report["summary"]["uncovered_algorithms"] == []
+        assert report["summary"]["ok"]
+
+    def test_algorithm_with_zero_coverage_fails_the_run(self):
+        # trace-replay scenario 0 is single path; free-path-only terra then
+        # never runs anywhere — the run must NOT report ok.
+        report = run_verification(
+            budget=1, seed=0, families=["trace-replay"], algorithms=["terra"]
+        )
+        assert report["summary"]["algorithms_run"] == []
+        assert report["summary"]["uncovered_algorithms"] == ["terra"]
+        assert not report["summary"]["ok"]
+        from repro.scenarios import format_verification_report
+
+        rendered = format_verification_report(report)
+        assert "never ran" in rendered
+        assert "INCOMPLETE COVERAGE" in rendered
+
+    def test_empty_algorithm_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_verification(budget=1, seed=0, algorithms=[])
+
+
+class TestVerifyScenario:
+    def test_single_scenario_block_shape(self):
+        block = verify_scenario(build_scenario("link-failure", 0, 4))
+        assert block["scenario"]["family"] == "link-failure"
+        assert block["violations"] == []
+        assert block["seconds"] > 0
+        for stats in block["algorithms"].values():
+            assert stats["objective"] >= 0
+            assert stats["feasible"]
+
+
+class TestReportWriting:
+    def test_write_to_directory(self, tmp_path, small_report):
+        path = write_verification_report(small_report, tmp_path)
+        assert path.name.startswith("VERIFY_") and path.suffix == ".json"
+        assert json.loads(path.read_text())["summary"]["ok"]
+
+    def test_write_to_explicit_file(self, tmp_path, small_report):
+        target = tmp_path / "sub" / "report.json"
+        path = write_verification_report(small_report, target)
+        assert path == target
+        assert target.exists()
+
+    def test_format_mentions_verdict_and_algorithms(self, small_report):
+        rendered = format_verification_report(small_report)
+        assert "-> OK" in rendered
+        assert "jahanjou" in rendered
+        assert "total violations: 0" in rendered
+
+
+class TestCli:
+    def test_verify_command_writes_report(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "verify",
+                "--budget",
+                "6",
+                "--seed",
+                "1",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        produced = list(tmp_path.glob("VERIFY_*.json"))
+        assert len(produced) == 1
+        payload = json.loads(produced[0].read_text())
+        assert payload["budget"] == 6
+        assert payload["seed"] == 1
+        assert payload["summary"]["ok"]
+
+    def test_verify_family_filter(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "verify",
+                "--budget",
+                "2",
+                "--family",
+                "zipf-sizes",
+                "--algorithms",
+                "fifo,sebf",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(next(tmp_path.glob("VERIFY_*.json")).read_text())
+        assert payload["summary"]["families_covered"] == ["zipf-sizes"]
+        assert payload["summary"]["algorithms_run"] == ["fifo", "sebf"]
+
+    def test_verify_unknown_family_exit_code(self, tmp_path):
+        assert (
+            cli_main(["verify", "--family", "bogus", "--output", str(tmp_path)])
+            == 2
+        )
+
+    def test_verify_unknown_algorithm_exit_code(self, tmp_path):
+        assert (
+            cli_main(
+                ["verify", "--algorithms", "bogus", "--output", str(tmp_path)]
+            )
+            == 2
+        )
+
+    def test_verify_blank_algorithm_list_exit_code(self, tmp_path):
+        assert (
+            cli_main(
+                ["verify", "--algorithms", " , ", "--output", str(tmp_path)]
+            )
+            == 2
+        )
+
+    def test_verify_zero_coverage_exit_code(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "verify",
+                "--budget",
+                "1",
+                "--family",
+                "trace-replay",
+                "--algorithms",
+                "terra",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 1
+
+    def test_list_families(self, capsys):
+        assert cli_main(["verify", "--list-families"]) == 0
+        out = capsys.readouterr().out
+        assert "zipf-sizes" in out
+        assert "incremental-sim" in out
