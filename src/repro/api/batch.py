@@ -74,7 +74,9 @@ def solve(
     start = time.perf_counter()
     report = info.solver(instance, cfg, lp_solution)
     report.algorithm = info.name
-    if report.solve_seconds == 0.0:
+    # None is the "not measured" sentinel; a measured 0.0 (coarse clock) is a
+    # real value and must survive.
+    if report.solve_seconds is None:
         report.solve_seconds = time.perf_counter() - start
     return report
 
@@ -87,6 +89,22 @@ def solve_request(request: SolveRequest) -> SolveReport:
 # --------------------------------------------------------------------------- #
 # batch runner
 # --------------------------------------------------------------------------- #
+def _effective_start_method() -> str:
+    """The start method worker processes *would* use, without resolving it.
+
+    ``multiprocessing.get_start_method()`` irreversibly pins the global start
+    method as a side effect (a later ``set_start_method()`` without
+    ``force=True`` then raises), so merely *asking* must not resolve it.
+    When the method is still unresolved, the platform default is inferred
+    from ``get_all_start_methods()``, which lists the default first and does
+    not touch the global context.
+    """
+    method = multiprocessing.get_start_method(allow_none=True)
+    if method is not None:
+        return method
+    return multiprocessing.get_all_start_methods()[0]
+
+
 def _solve_instance_batch(
     task: Tuple[CoflowInstance, Tuple[str, ...], SolverConfig, bool],
 ) -> List[SolveReport]:
@@ -178,10 +196,10 @@ def solve_many(
         # are forked from this process.  Otherwise fall back to serial rather
         # than fail deep inside the pool.
         custom = [name for name in names if name not in BUILTIN_ALGORITHMS]
-        if custom and multiprocessing.get_start_method() != "fork":
+        if custom and _effective_start_method() != "fork":
             warnings.warn(
                 f"custom algorithms {custom} are not importable in "
-                f"{multiprocessing.get_start_method()!r}-started worker "
+                f"{_effective_start_method()!r}-started worker "
                 "processes; running the batch serially",
                 RuntimeWarning,
                 stacklevel=2,

@@ -58,6 +58,10 @@ class SolveReport:
     solve_seconds:
         Wall-clock time spent inside the algorithm (including LP solves it
         triggered itself, excluding a shared LP solution passed in).
+        ``None`` means *not measured yet* — :func:`repro.api.solve` fills it
+        in for any report whose algorithm did not time itself.  A measured
+        ``0.0`` (possible under coarse clocks) is a legitimate value and is
+        never overwritten.
     extras:
         Algorithm-specific data (sampled λ, orderings, evaluations, …).
     """
@@ -70,7 +74,7 @@ class SolveReport:
     lp_solution: Optional[CoflowLPSolution] = None
     schedule: Optional[Schedule] = None
     feasibility: Optional[FeasibilityReport] = None
-    solve_seconds: float = 0.0
+    solve_seconds: Optional[float] = None
     extras: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -136,7 +140,7 @@ class SolveReport:
         outcome: "SchedulingOutcome",
         instance: CoflowInstance,
         *,
-        solve_seconds: float = 0.0,
+        solve_seconds: Optional[float] = None,
     ) -> "SolveReport":
         """Wrap a legacy :class:`SchedulingOutcome` (core algorithms)."""
         if outcome.schedule is not None:
@@ -163,7 +167,7 @@ class SolveReport:
         *,
         lower_bound: Optional[float] = None,
         lp_solution: Optional[CoflowLPSolution] = None,
-        solve_seconds: float = 0.0,
+        solve_seconds: Optional[float] = None,
     ) -> "SolveReport":
         """Wrap a legacy :class:`BaselineResult` (comparison baselines)."""
         return cls(

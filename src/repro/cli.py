@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Eight commands cover the common workflows without writing any Python:
+Nine commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -29,6 +29,12 @@ Eight commands cover the common workflows without writing any Python:
     sample scenarios across every registered family, run every registered
     algorithm on each, and cross-check the invariant suite against the
     library's oracles.  Writes a machine-readable ``VERIFY_<date>.json``.
+``sweep``
+    Run (or resume) a sharded parameter sweep described by a JSON spec
+    file through the persistent result store
+    (:mod:`repro.experiments.sweep` / :mod:`repro.store`): completed units
+    are checkpointed per chunk, interrupted sweeps resume exactly, and a
+    completed sweep re-runs with zero new LP solves.
 """
 
 from __future__ import annotations
@@ -110,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", type=float, default=1.0)
     exp.add_argument("--csv", help="optional CSV output path")
     exp.add_argument("--json", help="optional JSON output path")
+    exp.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory: cache the deterministic per-algorithm "
+        "series so repeated runs skip solved series",
+    )
 
     bench = sub.add_parser(
         "bench", help="run the performance harness and write BENCH_<date>.json"
@@ -133,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-compare",
         action="store_true",
         help="skip the comparison against the previous BENCH_*.json",
+    )
+    bench.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory: archive the report there and compare "
+        "against the store's trajectory when the output dir has none",
     )
 
     verify = sub.add_parser(
@@ -169,6 +187,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-families",
         action="store_true",
         help="list the registered scenario families and invariants, then exit",
+    )
+    verify.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory: cache per-scenario blocks so an "
+        "interrupted verification resumes and a repeated one is free",
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run (or resume) a sharded sweep through the result store",
+    )
+    sweep.add_argument("spec", help="sweep spec JSON (see repro.experiments.sweep)")
+    sweep.add_argument(
+        "--store",
+        default=".repro-store",
+        help="result-store directory (default: .repro-store)",
+    )
+    sweep.add_argument(
+        "--parallel", type=int, default=1, help="worker processes per chunk"
+    )
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="override the spec's chunk count (never changes results)",
+    )
+    sweep.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        help="execute at most this many chunks, then stop (resume later); "
+        "fully cached chunks are free and do not count",
+    )
+    sweep.add_argument(
+        "--status",
+        action="store_true",
+        help="report store coverage of the sweep without solving anything",
     )
 
     return parser
@@ -289,7 +345,12 @@ def _cmd_batch(args, out) -> int:
 
 def _cmd_experiment(args, out) -> int:
     config = get_experiment(args.experiment_id)
-    result = run_experiment(config, scale=args.scale)
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    result = run_experiment(config, scale=args.scale, store=store)
     print(format_result_table(result), file=out)
     checks = summarize_shape_checks(result)
     if checks:
@@ -319,11 +380,18 @@ def _cmd_bench(args, out) -> int:
     except ValueError as exc:  # unknown scenario name
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     if not args.no_compare:
         # Tolerates an empty trajectory (no prior BENCH_*.json) and
         # unreadable/foreign previous files — see compare_with_previous.
-        report["comparison"] = compare_with_previous(report, args.output)
-    path = write_report(report, args.output)
+        report["comparison"] = compare_with_previous(
+            report, args.output, store=store
+        )
+    path = write_report(report, args.output, store=store)
     print(format_report(report), file=out)
     print(f"wrote {path}", file=out)
     return 0
@@ -352,6 +420,11 @@ def _cmd_verify(args, out) -> int:
         algorithms = [
             name.strip() for name in args.algorithms.split(",") if name.strip()
         ]
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     try:
         # Unknown family/algorithm/invariant names all fail fast inside
         # run_verification, before any scenario is generated or solved.
@@ -361,14 +434,89 @@ def _cmd_verify(args, out) -> int:
             families=args.families,
             algorithms=algorithms,
             invariants=args.invariants,
+            store=store,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if store is not None:
+        store.put_run("verify", report)
     path = write_verification_report(report, args.output)
     print(format_verification_report(report), file=out)
     print(f"wrote {path}", file=out)
     return 0 if report["summary"]["ok"] else 1
+
+
+def _cmd_sweep(args, out) -> int:
+    from repro.experiments.sweep import SweepSpec, run_sweep, sweep_status
+    from repro.store import ResultStore
+
+    try:
+        spec = SweepSpec.load_json(args.spec)
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: could not load sweep spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    store = ResultStore(args.store)
+    if args.status:
+        try:
+            status = sweep_status(spec, store)
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"sweep {status['sweep']} ({status['sweep_id'][:12]}): "
+            f"{status['stored']}/{status['units']} units stored, "
+            f"{status['pending']} pending "
+            f"({'complete' if status['complete'] else 'incomplete'})",
+            file=out,
+        )
+        return 0
+    try:
+        result = run_sweep(
+            spec,
+            store,
+            parallel=args.parallel,
+            max_chunks=args.max_chunks,
+            num_shards=args.shards,
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        # Unknown algorithm / empty cross product (ValueError), missing
+        # trace file (OSError), unknown topology name (KeyError): all are
+        # spec problems, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = (
+        f"{'instance':<30s} {'algorithm':<16s} {'eps':>6s} "
+        f"{'objective':>10s} {'source':>7s}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for unit in result.units:
+        label = spec.instances[unit.instance_index].label()
+        eps = "-" if unit.epsilon is None else f"{unit.epsilon:g}"
+        objective = (
+            "pending" if unit.objective is None else f"{unit.objective:.3f}"
+        )
+        print(
+            f"{label:<30s} {unit.algorithm:<16s} {eps:>6s} "
+            f"{objective:>10s} {unit.status:>7s}",
+            file=out,
+        )
+    summary = result.summary()
+    print(
+        f"units {summary['units']}: hit {summary['hits']}, "
+        f"solved {summary['solved']}, pending {summary['pending']} "
+        f"(chunks {summary['chunks_run']}/{summary['chunks_total']}, "
+        f"{summary['seconds']:.2f}s, store {store.root})",
+        file=out,
+    )
+    if not result.complete:
+        print(
+            "sweep incomplete; re-run the same command to resume from the "
+            "last checkpoint",
+            file=out,
+        )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -391,6 +539,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_bench(args, out)
     if args.command == "verify":
         return _cmd_verify(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

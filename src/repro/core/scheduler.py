@@ -39,9 +39,15 @@ logger = logging.getLogger(__name__)
 ALGORITHMS = ("lp-heuristic", "stretch", "stretch-average", "stretch-best")
 
 
-def _grid_key(grid: TimeGrid) -> bytes:
-    """Stable cache key of a time grid (rounded boundary signature)."""
-    return np.round(grid.boundaries, 9).tobytes()
+def _grid_key(grid: TimeGrid) -> str:
+    """Stable cache key of a time grid.
+
+    Delegates to :meth:`TimeGrid.boundary_digest` — the single canonical
+    grid identity also backing ``TimeGrid.__eq__``/``__hash__`` and the
+    result-store fingerprints — so "same grid" can never mean different
+    things in different caches.
+    """
+    return grid.boundary_digest()
 
 
 @dataclass
@@ -140,7 +146,7 @@ class CoflowScheduler:
         # grid parameters resolve to the same grid — a request that differs
         # (e.g. only in epsilon) triggers a fresh, correct solve instead of
         # silently reusing a mismatched LP.
-        self._lp_solutions: Dict[bytes, CoflowLPSolution] = {}
+        self._lp_solutions: Dict[str, CoflowLPSolution] = {}
         self._resolved_grid: Optional[TimeGrid] = None
         if lp_solution is not None:
             self._lp_solutions[_grid_key(lp_solution.grid)] = lp_solution

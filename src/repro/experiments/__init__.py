@@ -7,6 +7,8 @@
   Terra, Jahanjou et al., ...).
 * :mod:`repro.experiments.reporting` — renders results as aligned text
   tables of the same rows/series the paper plots.
+* :mod:`repro.experiments.sweep` — resumable sharded sweeps over the
+  persistent result store (:mod:`repro.store`), behind ``repro sweep``.
 """
 
 from repro.experiments.figures import (
@@ -17,8 +19,20 @@ from repro.experiments.figures import (
 )
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.reporting import format_result_table, summarize_shape_checks
+from repro.experiments.sweep import (
+    InstanceSpec,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    sweep_status,
+)
 
 __all__ = [
+    "InstanceSpec",
+    "SweepResult",
+    "SweepSpec",
+    "run_sweep",
+    "sweep_status",
     "ExperimentConfig",
     "ALL_EXPERIMENTS",
     "get_experiment",

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.api import SolverConfig, solve
+from repro.api import SolverConfig
 from repro.coflow.instance import CoflowInstance
 from repro.core.heuristic import lp_heuristic_schedule
 from repro.core.stretch import evaluate_stretch
@@ -26,6 +26,7 @@ from repro.experiments import figures as F
 from repro.experiments.figures import ExperimentConfig
 from repro.lp.solver import solver_cache
 from repro.network.topologies import named_topology
+from repro.store import ResultStore, cached_solve
 from repro.utils.rng import as_generator
 from repro.utils.timing import Stopwatch
 from repro.workloads.generator import WorkloadSpec, generate_instance
@@ -93,8 +94,16 @@ def _evaluate_series(
     lp_solution: CoflowLPSolution,
     rng: np.random.Generator,
     watch: Stopwatch,
+    store: Optional["ResultStore"] = None,
 ) -> Dict[str, float]:
-    """Compute every requested series for one workload instance."""
+    """Compute every requested series for one workload instance.
+
+    With a *store*, the deterministic single-algorithm series go through
+    :func:`repro.store.cached_solve`: a repeated experiment run reads them
+    back instead of re-solving.  The λ-sampling series are *not* cached —
+    they draw from the experiment's shared random stream, and skipping a
+    draw would shift every later sample (breaking run-to-run equality).
+    """
     out: Dict[str, float] = {}
     series = set(config.series)
 
@@ -111,8 +120,12 @@ def _evaluate_series(
         if series_name not in series:
             continue
         with watch.measure(series_name):
-            report = solve(
-                instance, algorithm, config=solver_config, lp_solution=lp_solution
+            report = cached_solve(
+                instance,
+                algorithm,
+                store=store,
+                config=solver_config,
+                lp_solution=lp_solution,
             )
         out[series_name] = _objective(
             config, report.weighted_completion_time, report.total_completion_time
@@ -179,6 +192,7 @@ def run_experiment(
     *,
     scale: float = 1.0,
     rng_seed: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
     """Run one experiment configuration and collect all series.
 
@@ -193,6 +207,11 @@ def run_experiment(
         scale at the cost of much longer LP solves.
     rng_seed:
         Seed for the λ-sampling randomness (defaults to the config seed).
+    store:
+        Optional persistent :class:`~repro.store.ResultStore`; the
+        deterministic per-algorithm series then read/write through it, so
+        repeated experiment runs skip already-solved series (see
+        :func:`_evaluate_series`).
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -205,7 +224,7 @@ def run_experiment(
     # (coincident geometric grids in the ε sweep, interval series re-solving
     # the default-ε LP, ...) return the memoized solution.
     with solver_cache():
-        _run_experiment_body(config, scale, watch, result, rng)
+        _run_experiment_body(config, scale, watch, result, rng, store)
 
     result.timings = watch.as_dict()
     result.timings["total"] = time.perf_counter() - start
@@ -218,6 +237,7 @@ def _run_experiment_body(
     watch: Stopwatch,
     result: "ExperimentResult",
     rng,
+    store: Optional[ResultStore] = None,
 ) -> None:
     if config.epsilon_values:
         # ε sweep (Fig. 8): one workload, one column per ε value.
@@ -252,7 +272,7 @@ def _run_experiment_body(
             with watch.measure(f"lp[{workload}]"):
                 lp_solution = solve_time_indexed_lp(instance)
             result.values[workload] = _evaluate_series(
-                config, instance, lp_solution, rng, watch
+                config, instance, lp_solution, rng, watch, store
             )
             result.metadata[workload] = {
                 "num_coflows": instance.num_coflows,

@@ -1,0 +1,604 @@
+"""Resumable, sharded parameter sweeps over the result store.
+
+The paper's evaluation is a large cross product — instances × algorithms ×
+grid/ε settings.  :func:`run_sweep` executes such a cross product as a
+sequence of deterministic *chunks* (in the spirit of Bobpp's deterministic
+work partitioning for parallel solvers), checkpointing every completed
+chunk into a :class:`~repro.store.ResultStore`:
+
+* **kill-and-resume**: an interrupted sweep loses at most the chunk in
+  flight; re-running it skips every stored unit and recomputes only the
+  rest — to a result set *byte-identical* to an uninterrupted run;
+* **warm re-run**: re-running a completed sweep performs **zero** new LP
+  solves (every unit is a store hit — asserted by the test suite via the
+  store's hit counters);
+* **shard independence**: every unit's randomness is a statelessly derived
+  child stream (:func:`repro.utils.rng.derive_seed` keyed on the unit's
+  *address*, never on execution order), so the shard layout, the chunk
+  size, the number of workers and the set of units skipped on resume can
+  all change without changing a single result byte.  This is also why the
+  orchestrator does not funnel whole chunks through
+  :func:`repro.api.solve_many`: its per-batch RNG spawning keys streams on
+  batch *composition*, which a resume, by construction, changes.  The
+  per-instance execution pattern (one shared uniform-grid LP handed to
+  every ``uses_shared_lp`` algorithm under one warm-start cache, worker
+  processes over a pool) is the same.
+
+A sweep is described by a :class:`SweepSpec` (JSON-serializable, so the
+``repro sweep`` CLI takes a spec file) and addressed by a stable
+``sweep_id`` fingerprint; progress is mirrored into a human-readable
+manifest under ``<store>/sweeps/<sweep_id>/``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api import SolverConfig, solve
+from repro.api.algorithms import BUILTIN_ALGORITHMS
+from repro.api.batch import _effective_start_method
+from repro.api.registry import get_algorithm
+from repro.coflow.instance import CoflowInstance
+from repro.core.timeindexed import solve_time_indexed_lp
+from repro.lp.solver import solver_cache
+from repro.network.topologies import named_topology
+from repro.store import (
+    ResultStore,
+    instance_fingerprint,
+    report_to_dict,
+    result_key,
+    text_key,
+)
+from repro.utils.rng import derive_seed
+from repro.workloads.generator import WorkloadSpec, generate_instance
+
+logger = logging.getLogger(__name__)
+
+SWEEP_SCHEMA = 1
+
+
+# --------------------------------------------------------------------------- #
+# sweep specification
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One workload of a sweep: either generated or replayed from a trace.
+
+    Generated instances are addressed by their generation parameters (the
+    usual :class:`~repro.workloads.generator.WorkloadSpec` knobs); trace
+    instances by a JSON file written by ``repro generate`` /
+    :meth:`CoflowInstance.save_json`.  Either way the *store key* is
+    derived from the built instance's content, so provenance never splits
+    cache entries.
+    """
+
+    topology: str = "swan"
+    profile: str = "FB"
+    num_coflows: int = 4
+    model: str = "free_path"
+    seed: int = 0
+    demand_scale: float = 1.0
+    weighted: bool = True
+    name: Optional[str] = None
+    trace: Optional[str] = None
+
+    def build(self) -> CoflowInstance:
+        if self.trace is not None:
+            return CoflowInstance.load_json(self.trace)
+        graph = named_topology(self.topology)
+        spec = WorkloadSpec(
+            profile=self.profile,
+            num_coflows=self.num_coflows,
+            weighted=self.weighted,
+            demand_scale=self.demand_scale,
+            seed=self.seed,
+            name=self.name,
+        )
+        return generate_instance(graph, spec, model=self.model, rng=self.seed)
+
+    def label(self) -> str:
+        if self.trace is not None:
+            return Path(self.trace).stem
+        return self.name or (
+            f"{self.profile}/{self.topology}/{self.model}"
+            f"/n{self.num_coflows}/s{self.seed}"
+        )
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "InstanceSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown InstanceSpec fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+
+#: SolverConfig fields a sweep spec may set (the ε axis and per-unit rng are
+#: managed by the orchestrator itself).
+_SPEC_CONFIG_FIELDS = (
+    "num_slots",
+    "slot_length",
+    "num_samples",
+    "solver_method",
+    "compact",
+    "verify",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The full description of one sweep (JSON-round-trippable).
+
+    Attributes
+    ----------
+    name:
+        Human label (also names the manifest).
+    instances:
+        The workload axis.
+    algorithms:
+        The algorithm axis (validated against the registry up front).
+    epsilons:
+        The grid axis: each entry is an ``epsilon`` for the geometric
+        interval grid, or ``None`` for the default uniform grid.
+    config:
+        Base solver configuration.  Its ``rng`` must be ``None``: every
+        unit receives its own statelessly derived seed (see module
+        docstring), keyed on ``seed``.
+    seed:
+        Root seed of the per-unit stream derivation.
+    num_shards:
+        Number of deterministic chunks the unit list is split into — the
+        checkpoint granularity.  More shards → finer-grained resume.
+    """
+
+    name: str
+    instances: Tuple[InstanceSpec, ...]
+    algorithms: Tuple[str, ...]
+    epsilons: Tuple[Optional[float], ...] = (None,)
+    config: SolverConfig = field(default_factory=SolverConfig)
+    seed: int = 0
+    num_shards: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ValueError("a sweep needs at least one instance")
+        if not self.algorithms:
+            raise ValueError("a sweep needs at least one algorithm")
+        if not self.epsilons:
+            raise ValueError("epsilons must not be empty (use (None,))")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if self.config.rng is not None:
+            raise ValueError(
+                "SweepSpec.config.rng must be None; per-unit seeds are "
+                "derived from SweepSpec.seed so shard layout cannot change "
+                "results"
+            )
+
+    def sweep_id(self) -> str:
+        """Stable fingerprint addressing this sweep's manifest.
+
+        ``num_shards`` is excluded: sharding is checkpoint granularity,
+        never part of the sweep's identity — editing it in the spec file
+        must keep resuming the same manifest.
+        """
+        identity = {
+            key: value
+            for key, value in self.to_dict().items()
+            if key != "num_shards"
+        }
+        return text_key("sweep", json.dumps(identity, sort_keys=True))
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "name": self.name,
+            "instances": [spec.to_dict() for spec in self.instances],
+            "algorithms": list(self.algorithms),
+            "epsilons": list(self.epsilons),
+            "config": {
+                key: getattr(self.config, key) for key in _SPEC_CONFIG_FIELDS
+            },
+            "seed": self.seed,
+            "num_shards": self.num_shards,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SweepSpec":
+        config_data = dict(data.get("config") or {})
+        unknown = set(config_data) - set(_SPEC_CONFIG_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown sweep config fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(_SPEC_CONFIG_FIELDS)}"
+            )
+        return cls(
+            name=str(data.get("name", "sweep")),
+            instances=tuple(
+                InstanceSpec.from_dict(entry) for entry in data["instances"]
+            ),
+            algorithms=tuple(data["algorithms"]),
+            epsilons=tuple(data.get("epsilons") or [None]),
+            config=SolverConfig(**config_data),
+            seed=int(data.get("seed", 0)),
+            num_shards=int(data.get("num_shards", 4)),
+        )
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "SweepSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+
+# --------------------------------------------------------------------------- #
+# units and sharding
+# --------------------------------------------------------------------------- #
+@dataclass
+class SweepUnit:
+    """One cell of the cross product, with its derived seed and store key."""
+
+    index: int
+    instance_index: int
+    algorithm: str
+    epsilon: Optional[float]
+    rng_seed: Optional[int]
+    key: str
+    status: str = "pending"  # pending | hit | solved
+    objective: Optional[float] = None
+
+    def describe(self) -> Dict:
+        return {
+            "index": self.index,
+            "instance_index": self.instance_index,
+            "algorithm": self.algorithm,
+            "epsilon": self.epsilon,
+            "rng_seed": self.rng_seed,
+            "key": self.key,
+            "status": self.status,
+            "objective": self.objective,
+        }
+
+
+def _unit_config(spec: SweepSpec, unit_seed: Optional[int], epsilon) -> SolverConfig:
+    return spec.config.replace(epsilon=epsilon, rng=unit_seed)
+
+
+def enumerate_units(
+    spec: SweepSpec, instances: Sequence[CoflowInstance]
+) -> List[SweepUnit]:
+    """The sweep's unit list, in canonical (ε, instance, algorithm) order.
+
+    Randomized algorithms get a seed derived statelessly from the unit's
+    *address* ``(spec.seed, "sweep-unit", instance-content-fingerprint,
+    algorithm, ε)`` — never from execution order, and never from the
+    instance's position in the spec (inserting or reordering instances
+    must not orphan previously solved randomized units).  Deterministic
+    algorithms get ``None`` so that sweeps with different root seeds still
+    share their cache entries.
+    """
+    units: List[SweepUnit] = []
+    fingerprints = [instance_fingerprint(instance) for instance in instances]
+    for epsilon in spec.epsilons:
+        eps_label = "none" if epsilon is None else repr(float(epsilon))
+        for i, (ispec, instance) in enumerate(zip(spec.instances, instances)):
+            for algorithm in spec.algorithms:
+                info = get_algorithm(algorithm)
+                if not info.supports(instance.model):
+                    continue
+                unit_seed = (
+                    derive_seed(
+                        spec.seed,
+                        "sweep-unit",
+                        fingerprints[i],
+                        algorithm,
+                        eps_label,
+                    )
+                    if info.randomized
+                    else None
+                )
+                cfg = _unit_config(spec, unit_seed, epsilon)
+                units.append(
+                    SweepUnit(
+                        index=len(units),
+                        instance_index=i,
+                        algorithm=algorithm,
+                        epsilon=epsilon,
+                        rng_seed=unit_seed,
+                        key=result_key(instance, algorithm, cfg),
+                    )
+                )
+    if not units:
+        raise ValueError(
+            "the sweep cross product is empty: no requested algorithm "
+            "supports any instance's transmission model"
+        )
+    return units
+
+
+def shard_units(units: Sequence[SweepUnit], num_shards: int) -> List[List[SweepUnit]]:
+    """Split *units* into at most *num_shards* contiguous, non-empty chunks.
+
+    Deterministic in the unit order alone; because unit seeds are derived
+    from unit addresses, *any* layout produces identical results — this one
+    keeps the units of one instance adjacent so chunk workers share LP
+    solutions as often as possible.
+    """
+    count = min(max(num_shards, 1), len(units))
+    base, extra = divmod(len(units), count)
+    chunks: List[List[SweepUnit]] = []
+    start = 0
+    for shard in range(count):
+        size = base + (1 if shard < extra else 0)
+        chunks.append(list(units[start : start + size]))
+        start += size
+    return chunks
+
+
+# --------------------------------------------------------------------------- #
+# chunk execution
+# --------------------------------------------------------------------------- #
+def _run_instance_group(
+    task: Tuple[CoflowInstance, List[Tuple[str, str, SolverConfig]], bool],
+) -> List[Tuple[str, Dict]]:
+    """Worker: solve one instance's units, sharing one uniform-grid LP.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it.  Mirrors :func:`repro.api.batch._solve_instance_batch`: one shared
+    LP for every ``uses_shared_lp`` algorithm, everything under one
+    warm-start cache — but each unit carries its *own* config (its derived
+    seed), and the shared solution is handed *only* to ``uses_shared_lp``
+    algorithms.  Both choices serve the same invariant: a unit's inputs
+    (and therefore its stored bytes) depend on its address alone, never on
+    which other units happen to share its chunk or group.
+    """
+    instance, unit_tasks, share_lp = task
+    results: List[Tuple[str, Dict]] = []
+    with solver_cache():
+        shared = None
+        if share_lp and any(
+            get_algorithm(algorithm).uses_shared_lp
+            for _, algorithm, _ in unit_tasks
+        ):
+            first_cfg = unit_tasks[0][2]
+            shared = solve_time_indexed_lp(
+                instance,
+                grid=first_cfg.grid,
+                num_slots=first_cfg.num_slots,
+                slot_length=first_cfg.slot_length,
+                epsilon=first_cfg.epsilon,
+                solver_method=first_cfg.solver_method,
+            )
+        for key, algorithm, cfg in unit_tasks:
+            lp = shared if get_algorithm(algorithm).uses_shared_lp else None
+            report = solve(instance, algorithm, config=cfg, lp_solution=lp)
+            results.append((key, report_to_dict(report)))
+    return results
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` invocation."""
+
+    spec: SweepSpec
+    sweep_id: str
+    units: List[SweepUnit]
+    reports: Dict[str, Dict]  # key -> serialized report surface
+    hits: int = 0
+    solved: int = 0
+    pending: int = 0
+    chunks_total: int = 0
+    chunks_run: int = 0
+    seconds: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.pending == 0
+
+    def summary(self) -> Dict:
+        return {
+            "schema": SWEEP_SCHEMA,
+            "sweep": self.spec.name,
+            "sweep_id": self.sweep_id,
+            "units": len(self.units),
+            "hits": self.hits,
+            "solved": self.solved,
+            "pending": self.pending,
+            "chunks_total": self.chunks_total,
+            "chunks_run": self.chunks_run,
+            "complete": self.complete,
+            "seconds": self.seconds,
+        }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: ResultStore,
+    *,
+    parallel: Optional[int] = None,
+    max_chunks: Optional[int] = None,
+    num_shards: Optional[int] = None,
+) -> SweepResult:
+    """Run (or resume) *spec* against *store*.
+
+    Parameters
+    ----------
+    spec:
+        The sweep description.
+    store:
+        The persistent result store; every completed unit is written here
+        and every stored unit is skipped.
+    parallel:
+        Worker processes per chunk; ``None``/``1`` runs in-process.
+    max_chunks:
+        Stop after this many chunks have been *executed* (store hits do not
+        count a chunk as executed work — a fully cached chunk is free).
+        This is the hook the kill-and-resume tests and the CI smoke job use
+        to interrupt a sweep at a chunk boundary.
+    num_shards:
+        Override ``spec.num_shards`` without changing the sweep identity
+        (sharding never affects results, so it is not part of the spec
+        fingerprint either way).
+    """
+    started = time.perf_counter()
+    for algorithm in spec.algorithms:
+        get_algorithm(algorithm)  # fail fast on typos
+    instances = [ispec.build() for ispec in spec.instances]
+    units = enumerate_units(spec, instances)
+    shards = num_shards if num_shards is not None else spec.num_shards
+    chunks = shard_units(units, shards)
+    sweep_id = spec.sweep_id()
+
+    result = SweepResult(
+        spec=spec,
+        sweep_id=sweep_id,
+        units=units,
+        reports={},
+        chunks_total=len(chunks),
+    )
+
+    use_processes = parallel is not None and parallel > 1
+    if use_processes:
+        custom = [a for a in spec.algorithms if a not in BUILTIN_ALGORITHMS]
+        if custom and _effective_start_method() != "fork":
+            warnings.warn(
+                f"custom algorithms {custom} are not importable in "
+                f"{_effective_start_method()!r}-started worker processes; "
+                "running the sweep serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            use_processes = False
+
+    chunk_states: List[str] = ["pending"] * len(chunks)
+    executed = 0
+    for chunk_index, chunk in enumerate(chunks):
+        # Resume pass: everything already in the store is a hit, never
+        # recomputed.  Only the remainder becomes solver work.
+        missing: List[SweepUnit] = []
+        for unit in chunk:
+            payload = store.get(unit.key)
+            if payload is not None:
+                unit.status = "hit"
+                unit.objective = payload.get("objective")
+                result.reports[unit.key] = payload
+                result.hits += 1
+            else:
+                missing.append(unit)
+        if not missing:
+            chunk_states[chunk_index] = "complete"
+            _checkpoint_manifest(store, sweep_id, spec, chunk_states, result)
+            continue
+        if max_chunks is not None and executed >= max_chunks:
+            result.pending += len(missing)
+            continue
+        executed += 1
+
+        groups: Dict[Tuple[int, Optional[float]], List[SweepUnit]] = {}
+        for unit in missing:
+            groups.setdefault((unit.instance_index, unit.epsilon), []).append(unit)
+        tasks = [
+            (
+                instances[instance_index],
+                [
+                    (
+                        unit.key,
+                        unit.algorithm,
+                        _unit_config(spec, unit.rng_seed, epsilon),
+                    )
+                    for unit in group
+                ],
+                True,
+            )
+            for (instance_index, epsilon), group in groups.items()
+        ]
+        if use_processes and len(tasks) > 1:
+            workers = min(parallel, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                grouped = list(executor.map(_run_instance_group, tasks))
+        else:
+            grouped = [_run_instance_group(task) for task in tasks]
+
+        solved_payloads = {
+            key: payload for group in grouped for key, payload in group
+        }
+        # Chunk checkpoint: persist every unit of the completed chunk, then
+        # the manifest.  A kill before this line loses only this chunk.
+        for unit in missing:
+            payload = solved_payloads[unit.key]
+            store.put(unit.key, payload, kind="solve-report")
+            unit.status = "solved"
+            unit.objective = payload.get("objective")
+            result.reports[unit.key] = payload
+            result.solved += 1
+        chunk_states[chunk_index] = "complete"
+        _checkpoint_manifest(store, sweep_id, spec, chunk_states, result)
+        logger.info(
+            "sweep %s: chunk %d/%d complete (%d solved)",
+            spec.name,
+            chunk_index + 1,
+            len(chunks),
+            len(missing),
+        )
+
+    result.chunks_run = executed
+    result.seconds = time.perf_counter() - started
+    if result.complete:
+        store.put_run("sweep", result.summary())
+    return result
+
+
+def _checkpoint_manifest(
+    store: ResultStore,
+    sweep_id: str,
+    spec: SweepSpec,
+    chunk_states: List[str],
+    result: SweepResult,
+) -> None:
+    store.put_manifest(
+        sweep_id,
+        {
+            "schema": SWEEP_SCHEMA,
+            "sweep_id": sweep_id,
+            "spec": spec.to_dict(),
+            "chunks": list(chunk_states),
+            "units": [unit.describe() for unit in result.units],
+        },
+    )
+
+
+def sweep_status(spec: SweepSpec, store: ResultStore) -> Dict:
+    """Coverage of *spec* in *store* without solving anything.
+
+    Counts per-unit presence directly against the store's objects (not the
+    manifest), so it is correct even for a store populated by a different
+    sweep that happened to share units.
+    """
+    instances = [ispec.build() for ispec in spec.instances]
+    units = enumerate_units(spec, instances)
+    stored = sum(1 for unit in units if store.contains(unit.key))
+    manifest = store.get_manifest(spec.sweep_id())
+    return {
+        "sweep": spec.name,
+        "sweep_id": spec.sweep_id(),
+        "units": len(units),
+        "stored": stored,
+        "pending": len(units) - stored,
+        "complete": stored == len(units),
+        "manifest_chunks": (manifest or {}).get("chunks"),
+    }

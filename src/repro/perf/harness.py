@@ -389,13 +389,23 @@ def run_bench(
     return report
 
 
-def write_report(report: Dict, output_dir: str | Path = ".") -> Path:
-    """Write *report* as ``BENCH_<YYYYmmdd-HHMMSS>.json`` in *output_dir*."""
+def write_report(
+    report: Dict, output_dir: str | Path = ".", *, store=None
+) -> Path:
+    """Write *report* as ``BENCH_<YYYYmmdd-HHMMSS>.json`` in *output_dir*.
+
+    With a :class:`~repro.store.ResultStore`, the report is additionally
+    archived under the store's ``runs/bench/`` sequence — the durable
+    trajectory that survives fresh checkouts and scratch output
+    directories (see :func:`compare_with_previous`).
+    """
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
     stamp = datetime.now().strftime("%Y%m%d-%H%M%S")
     path = directory / f"BENCH_{stamp}.json"
     path.write_text(json.dumps(report, indent=2, sort_keys=False))
+    if store is not None:
+        store.put_run("bench", report)
     return path
 
 
@@ -413,7 +423,9 @@ def find_previous_report(output_dir: str | Path = ".") -> Optional[Path]:
     return candidates[-1] if candidates else None
 
 
-def compare_with_previous(report: Dict, output_dir: str | Path = ".") -> Dict:
+def compare_with_previous(
+    report: Dict, output_dir: str | Path = ".", *, store=None
+) -> Dict:
     """The full comparison path: find, load and diff the previous report.
 
     This is the single entry point the CLI (and ``benchmarks/harness.py``)
@@ -423,8 +435,19 @@ def compare_with_previous(report: Dict, output_dir: str | Path = ".") -> Dict:
     marking this run as the trajectory's first point, and an unreadable or
     structurally foreign previous file is reported the same way instead of
     raising.
+
+    With a :class:`~repro.store.ResultStore`, an output directory without
+    any ``BENCH_*.json`` falls back to the store's archived ``runs/bench``
+    trajectory, so run-over-run comparison keeps working across fresh
+    checkouts and scratch CI workspaces.
     """
     previous_path = find_previous_report(output_dir)
+    if previous_path is None and store is not None:
+        archived = store.latest_run("bench")
+        if archived is not None:
+            comparison = compare_reports(archived, report)
+            comparison["previous"] = "store:runs/bench"
+            return comparison
     if previous_path is None:
         return {
             "previous": None,

@@ -30,6 +30,8 @@ import numpy as np
 from repro.api import SolverConfig, available_algorithms, get_algorithm, solve
 from repro.core.timeindexed import solve_time_indexed_lp
 from repro.lp.solver import solver_cache
+from repro.store import ResultStore, config_fingerprint, text_key
+from repro.store.fingerprint import FingerprintError
 
 from repro.scenarios import families as _families  # noqa: F401 - registers built-ins
 from repro.scenarios.engine import Scenario, sample_scenarios, scenario_families
@@ -103,19 +105,71 @@ def execute_scenario(
     return run
 
 
+def _scenario_block_key(
+    scenario: Scenario,
+    config: Optional[SolverConfig],
+    algorithms: Optional[Sequence[str]],
+    invariants: Optional[Sequence[str]],
+) -> Optional[str]:
+    """Store address of one scenario's verification block, or ``None``.
+
+    ``None`` (uncacheable) when the base config carries a live generator —
+    the block would not be reproducible.  The key covers the scenario's
+    full address, the *overlaid* config actually used (the per-scenario rng
+    and the λ-sample cap included) and the algorithm/invariant selections,
+    so narrowing either selection never returns a stale wider block.
+    """
+    base = config if config is not None else SolverConfig()
+    cfg = base.replace(
+        rng=scenario.seed if base.rng is None else base.rng,
+        num_samples=min(base.num_samples, VERIFY_NUM_SAMPLES),
+    )
+    try:
+        cfg_fp = config_fingerprint(cfg)
+    except FingerprintError:
+        return None
+    return text_key(
+        "verify-scenario",
+        scenario.family,
+        str(scenario.index),
+        str(scenario.root_seed),
+        cfg_fp,
+        "algorithms:" + (",".join(sorted(algorithms)) if algorithms else "*"),
+        "invariants:" + (",".join(sorted(invariants)) if invariants else "*"),
+    )
+
+
 def verify_scenario(
     scenario: Scenario,
     *,
     config: Optional[SolverConfig] = None,
     algorithms: Optional[Sequence[str]] = None,
     invariants: Optional[Sequence[str]] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict:
     """Run all applicable algorithms on one scenario and check the invariants.
 
     Returns the scenario's JSON-ready report block: provenance, per-algorithm
     outcomes, per-invariant violation lists and the flat ``violations`` list
     the harness aggregates.
+
+    With a *store*, completed blocks are checkpointed under a key covering
+    the scenario address, overlaid config and selections: an interrupted
+    ``repro verify --store`` run resumes from the last finished scenario,
+    and a repeated run replays entirely from the store (blocks come back
+    flagged ``"cached": true``).
     """
+    key = (
+        _scenario_block_key(scenario, config, algorithms, invariants)
+        if store is not None
+        else None
+    )
+    if key is not None:
+        cached = store.get(key)
+        if isinstance(cached, dict) and "violations" in cached:
+            block = dict(cached)
+            block["cached"] = True
+            return block
     started = time.perf_counter()
     run = execute_scenario(scenario, config=config, algorithms=algorithms)
     invariant_results = check_invariants(run, invariants=invariants)
@@ -143,7 +197,7 @@ def verify_scenario(
         }
         for name, report in run.reports.items()
     }
-    return {
+    block = {
         "scenario": scenario.describe(),
         "algorithms": algorithms_block,
         "invariants": {
@@ -153,6 +207,14 @@ def verify_scenario(
         "violations": violations,
         "seconds": seconds,
     }
+    # Crashes may be transient (memory pressure, a missing backend): a block
+    # containing one must be retried on the next run, never replayed from
+    # the store.  Invariant violations are deterministic content and cache
+    # fine.
+    has_crash = any(v["kind"] == "crash" for v in violations)
+    if key is not None and not has_crash:
+        store.put(key, block, kind="verify-scenario")
+    return block
 
 
 def run_verification(
@@ -163,6 +225,7 @@ def run_verification(
     algorithms: Optional[Sequence[str]] = None,
     invariants: Optional[Sequence[str]] = None,
     config: Optional[SolverConfig] = None,
+    store: Optional[ResultStore] = None,
 ) -> Dict:
     """Sample *budget* scenarios and differentially verify every algorithm.
 
@@ -184,6 +247,11 @@ def run_verification(
     config:
         Base solver configuration (the per-scenario rng and a verification
         λ-sample cap are overlaid onto it).
+    store:
+        Optional persistent :class:`~repro.store.ResultStore`.  Completed
+        scenario blocks are checkpointed as they finish, so an interrupted
+        run resumes where it stopped and a repeated run is read entirely
+        from the store (see :func:`verify_scenario`).
     """
     # Typos and empty selections fail fast, before any scenario is
     # generated or solved.
@@ -200,6 +268,7 @@ def run_verification(
             config=config,
             algorithms=algorithms,
             invariants=invariants,
+            store=store,
         )
         for scenario in scenarios
     ]
@@ -233,6 +302,9 @@ def run_verification(
         "scenarios": scenario_blocks,
         "summary": {
             "scenarios": len(scenario_blocks),
+            "cached_scenarios": sum(
+                1 for b in scenario_blocks if b.get("cached")
+            ),
             "families_covered": families_covered,
             "algorithms_run": algorithms_run,
             "uncovered_algorithms": uncovered,
@@ -266,10 +338,12 @@ def format_verification_report(report: Dict) -> str:
     """Human-readable summary of a verification report (CLI output)."""
     lines: List[str] = []
     summary = report["summary"]
+    cached = summary.get("cached_scenarios", 0)
+    cached_note = f", {cached} from store" if cached else ""
     lines.append(
         f"verified {summary['scenarios']} scenarios "
         f"(seed {report['seed']}, families: "
-        f"{', '.join(summary['families_covered'])})"
+        f"{', '.join(summary['families_covered'])}{cached_note})"
     )
     lines.append(
         f"{'scenario':<26s} {'model':<12s} {'coflows':>7s} {'algos':>5s} "

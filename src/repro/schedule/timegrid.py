@@ -10,11 +10,30 @@ same abstraction: an increasing sequence of slot boundaries.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.utils.validation import check_positive
+
+#: Decimal places the canonical (hash/equality) boundary representation is
+#: rounded to.  1e-9 absolute is far below any meaningful slot length yet
+#: far above the float noise accumulated when identical grids are rebuilt
+#: from the same parameters.
+_CANONICAL_DECIMALS = 9
+
+
+def _relative_tol(magnitude: float, base: float) -> float:
+    """*base* scaled up with *magnitude* so it survives float rounding.
+
+    An absolute tolerance like ``1e-12`` vanishes once times reach ~1e6
+    (double precision resolves only ~1e-10 there), silently turning boundary
+    comparisons exact.  Scaling by ``max(1, |magnitude|)`` keeps the
+    tolerance meaningful at any horizon while preserving the original
+    absolute value for small times.
+    """
+    return base * max(1.0, abs(magnitude))
 
 
 class TimeGrid:
@@ -35,6 +54,11 @@ class TimeGrid:
             raise ValueError("boundaries must be strictly increasing")
         self._bounds = bounds
         self._durations = np.diff(bounds)
+        # Canonical rounded boundaries back equality, hashing and the store
+        # fingerprint: grids built twice from the same parameters agree
+        # exactly, and sub-1e-9 float noise does not split cache keys.
+        self._canonical = np.round(bounds, _CANONICAL_DECIMALS)
+        self._canonical.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -131,14 +155,18 @@ class TimeGrid:
         """
         if time < 0:
             raise ValueError(f"time must be non-negative, got {time}")
-        if time > self.horizon + 1e-9:
+        if time > self.horizon + _relative_tol(self.horizon, 1e-9):
             raise ValueError(
                 f"time {time} is beyond the grid horizon {self.horizon}"
             )
         if time <= self._bounds[1]:
             return 0
         # searchsorted with side='left' gives the first boundary >= time.
-        idx = int(np.searchsorted(self._bounds, time - 1e-12, side="left"))
+        idx = int(
+            np.searchsorted(
+                self._bounds, time - _relative_tol(time, 1e-12), side="left"
+            )
+        )
         return min(idx - 1, self.num_slots - 1)
 
     def first_usable_slot(self, release_time: float) -> int:
@@ -151,7 +179,9 @@ class TimeGrid:
         """
         if release_time < 0:
             raise ValueError("release_time must be non-negative")
-        usable = np.nonzero(self._bounds[1:] > release_time + 1e-12)[0]
+        usable = np.nonzero(
+            self._bounds[1:] > release_time + _relative_tol(release_time, 1e-12)
+        )[0]
         if usable.size == 0:
             raise ValueError(
                 f"release time {release_time} is at or beyond the grid horizon "
@@ -167,7 +197,8 @@ class TimeGrid:
         """
         release = np.asarray(release_times, dtype=float).reshape(-1, 1)
         ends = self._bounds[1:].reshape(1, -1)
-        return ends > release + 1e-12
+        tol = 1e-12 * np.maximum(1.0, np.abs(release))
+        return ends > release + tol
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self.num_slots))
@@ -176,11 +207,32 @@ class TimeGrid:
         return self.num_slots
 
     def __eq__(self, other: object) -> bool:
+        """Equality on the canonical (rounded) boundaries.
+
+        Defined together with :meth:`__hash__` from the same canonical
+        representation, so equal grids always hash equal — grids can be
+        dict keys and members of result-store cache fingerprints.
+        """
         if not isinstance(other, TimeGrid):
             return NotImplemented
-        return self._bounds.shape == other._bounds.shape and bool(
-            np.allclose(self._bounds, other._bounds)
+        return self._canonical.shape == other._canonical.shape and bool(
+            np.array_equal(self._canonical, other._canonical)
         )
+
+    def __hash__(self) -> int:
+        return hash((self.num_slots, self._canonical.tobytes()))
+
+    def boundary_digest(self) -> str:
+        """Hex BLAKE2b digest of the canonical boundaries.
+
+        The stable fingerprint :mod:`repro.store` keys cached results on:
+        identical grids (up to the canonical rounding that also backs
+        ``__eq__``/``__hash__``) always digest identically, in any process,
+        on any platform.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(self._canonical).tobytes())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:
         kind = "uniform" if self.is_uniform else "geometric/custom"

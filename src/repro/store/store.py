@@ -1,0 +1,259 @@
+"""On-disk, content-addressed result store.
+
+Layout (all JSON, all human-inspectable)::
+
+    <root>/
+      store.json                   # store-level metadata (schema version)
+      objects/<k0k1>/<key>.json    # content-addressed entries (fan-out dir)
+      runs/<kind>/<kind>-<n>.json  # append-only run archives (bench, verify,
+                                   # sweep summaries) with a monotonic index
+
+Every object entry is an envelope ``{schema, key, kind, created, payload}``;
+``payload`` is the caller's JSON document (e.g. the serialized
+:class:`~repro.api.report.SolveReport` surface).  Writes are atomic (temp
+file + ``os.replace`` in the same directory), so a killed sweep never leaves
+a half-written entry: the entry either exists completely or not at all —
+which is exactly what makes kill-and-resume safe.
+
+Corrupted entries (truncated file, foreign JSON, wrong schema) are treated
+as misses, counted, and quarantined by renaming to ``<name>.corrupt`` so the
+next write can recompute and replace them cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Version of the on-disk envelope; entries with a different version are
+#: misses (and are left untouched — a newer store format is not "corrupt").
+STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """A content-addressed JSON store with hit/miss/corruption accounting.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first use).
+
+    Notes
+    -----
+    Counters (``hits``/``misses``/``writes``/``corrupted``) accumulate per
+    store *object*, not per directory — two stores opened on the same root
+    count independently.  The sweep tests use them to assert "zero new
+    solves on a warm re-run".
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupted = 0
+        self._ensure_layout()
+
+    # ------------------------------------------------------------------ #
+    # layout
+    # ------------------------------------------------------------------ #
+    def _ensure_layout(self) -> None:
+        (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        (self.root / "runs").mkdir(parents=True, exist_ok=True)
+        meta = self.root / "store.json"
+        if not meta.exists():
+            self._atomic_write(meta, {"schema": STORE_SCHEMA, "kind": "repro-store"})
+
+    def object_path(self, key: str) -> Path:
+        """Path of the entry addressed by *key* (two-hex-char fan-out)."""
+        if len(key) < 3:
+            raise ValueError(f"store keys must be hex digests, got {key!r}")
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, document: Dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # content-addressed objects
+    # ------------------------------------------------------------------ #
+    def contains(self, key: str) -> bool:
+        """Whether a *valid* entry exists, without counting hit/miss.
+
+        Validates the full envelope (readable JSON, matching key, supported
+        schema) exactly like :meth:`get`, so a status probe can never call
+        an entry "stored" that an actual run would treat as a miss.  Unlike
+        :meth:`get` it neither touches the counters nor quarantines.
+        """
+        payload, _corrupt = self._load(key)
+        return payload is not None
+
+    def _load(self, key: str) -> tuple:
+        """``(payload, corrupt)`` for *key*; counters and files untouched."""
+        path = self.object_path(key)
+        try:
+            envelope = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None, False
+        except (OSError, json.JSONDecodeError):
+            return None, True
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("key") != key
+            or "payload" not in envelope
+        ):
+            return None, True
+        if envelope.get("schema") != STORE_SCHEMA:
+            # A different (likely newer) format: miss, but not corruption.
+            return None, False
+        return envelope["payload"], False
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The payload stored under *key*, or ``None`` (miss).
+
+        A corrupted entry — unreadable, non-JSON, or not a store envelope —
+        counts as a miss, increments ``corrupted`` and is quarantined by
+        renaming to ``.corrupt`` so it is never consulted again.
+        """
+        payload, corrupt = self._load(key)
+        if corrupt:
+            self._quarantine(self.object_path(key))
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict, *, kind: str = "result") -> Path:
+        """Atomically store *payload* under *key*; returns the entry path."""
+        path = self.object_path(key)
+        envelope = {
+            "schema": STORE_SCHEMA,
+            "key": key,
+            "kind": kind,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "payload": payload,
+        }
+        self._atomic_write(path, envelope)
+        self.writes += 1
+        return path
+
+    def _quarantine(self, path: Path) -> None:
+        self.corrupted += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:  # pragma: no cover - already gone / unwritable
+            pass
+
+    def keys(self) -> List[str]:
+        """All object keys currently stored (sorted)."""
+        return sorted(
+            p.stem for p in (self.root / "objects").glob("*/*.json")
+        )
+
+    # ------------------------------------------------------------------ #
+    # run archives
+    # ------------------------------------------------------------------ #
+    def put_run(self, kind: str, payload: Dict) -> Path:
+        """Append *payload* to the ``runs/<kind>/`` archive.
+
+        Entries get a monotonically increasing index (scan-based, so
+        archives survive across processes); ``latest_run`` returns the
+        highest index.
+        """
+        directory = self.root / "runs" / kind
+        directory.mkdir(parents=True, exist_ok=True)
+        existing = self._run_paths(kind)
+        next_index = 0
+        if existing:
+            next_index = max(self._run_index(p, kind) for p in existing) + 1
+        path = directory / f"{kind}-{next_index:06d}.json"
+        self._atomic_write(path, payload)
+        self.writes += 1
+        return path
+
+    def _run_paths(self, kind: str) -> List[Path]:
+        directory = self.root / "runs" / kind
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob(f"{kind}-*.json"))
+
+    @staticmethod
+    def _run_index(path: Path, kind: str) -> int:
+        try:
+            return int(path.stem.removeprefix(f"{kind}-"))
+        except ValueError:
+            return -1
+
+    def list_runs(self, kind: str) -> List[Path]:
+        """Paths of every archived run of *kind*, oldest first."""
+        return [p for p in self._run_paths(kind) if self._run_index(p, kind) >= 0]
+
+    def latest_run(self, kind: str) -> Optional[Dict]:
+        """The most recently archived run payload of *kind*, if any.
+
+        Unreadable archives are skipped (newest readable one wins) rather
+        than raised — a durable trajectory should tolerate one bad file.
+        """
+        for path in reversed(self.list_runs(kind)):
+            try:
+                return json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+        return None
+
+    # ------------------------------------------------------------------ #
+    # sweep manifests
+    # ------------------------------------------------------------------ #
+    def manifest_path(self, sweep_id: str) -> Path:
+        """Path of the checkpoint manifest for the sweep *sweep_id*."""
+        return self.root / "sweeps" / sweep_id / "manifest.json"
+
+    def put_manifest(self, sweep_id: str, payload: Dict) -> Path:
+        """Atomically (re)write a sweep's checkpoint manifest."""
+        path = self.manifest_path(sweep_id)
+        self._atomic_write(path, payload)
+        return path
+
+    def get_manifest(self, sweep_id: str) -> Optional[Dict]:
+        """A sweep's checkpoint manifest, or ``None`` (absent / unreadable)."""
+        try:
+            return json.loads(self.manifest_path(sweep_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self.keys()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupted": self.corrupted,
+        }
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/write/corruption counters (entries untouched)."""
+        self.hits = self.misses = self.writes = self.corrupted = 0
+
+    def __repr__(self) -> str:
+        return f"ResultStore(root={str(self.root)!r}, {self.stats()})"

@@ -191,3 +191,87 @@ class TestSharedLPGridKeying:
             a = reports[2 * i]
             b = reports[2 * i + 1]
             assert a.lp_solution is b.lp_solution
+
+
+class TestSolveSecondsSentinel:
+    """Regression: a measured 0.0 was treated as "unset" and clobbered."""
+
+    def _register(self, name, solve_seconds):
+        from repro.api.registry import register_algorithm
+        from repro.api.report import SolveReport
+
+        @register_algorithm(name, description="test stub")
+        def _stub(instance, config, lp_solution=None):
+            return SolveReport(
+                algorithm=name,
+                instance=instance,
+                objective=1.0,
+                coflow_completion_times=np.ones(instance.num_coflows),
+                solve_seconds=solve_seconds,
+            )
+
+    def test_measured_zero_is_preserved(self, instances):
+        from repro.api.registry import _REGISTRY
+
+        self._register("test-zero-seconds", 0.0)
+        try:
+            report = api.solve(instances[0], "test-zero-seconds")
+            # A coarse clock can legitimately measure 0.0; solve() must not
+            # overwrite it with its own wall-clock measurement.
+            assert report.solve_seconds == 0.0
+        finally:
+            _REGISTRY.pop("test-zero-seconds", None)
+
+    def test_unset_none_is_filled_in(self, instances):
+        from repro.api.registry import _REGISTRY
+
+        self._register("test-none-seconds", None)
+        try:
+            report = api.solve(instances[0], "test-none-seconds")
+            assert report.solve_seconds is not None
+            assert report.solve_seconds > 0.0
+        finally:
+            _REGISTRY.pop("test-none-seconds", None)
+
+    def test_every_builtin_reports_a_measured_time(self, instances):
+        for name in ("lp-heuristic", "stretch-average", "fifo", "terra"):
+            report = api.solve(
+                instances[0], name, rng=0, num_samples=2
+            )
+            assert report.solve_seconds is not None
+            assert report.solve_seconds >= 0.0
+
+
+class TestStartMethodNotLocked:
+    """Regression: solve_many's start-method probe pinned the global method."""
+
+    def test_effective_start_method_does_not_resolve(self):
+        # Must run in a pristine interpreter: anything else in this test
+        # session may already have resolved the start method legitimately.
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            import multiprocessing
+            from repro.api.batch import _effective_start_method
+
+            method = _effective_start_method()
+            assert method in multiprocessing.get_all_start_methods(), method
+            # The probe itself must not have resolved the global context...
+            assert multiprocessing.get_start_method(allow_none=True) is None
+            # ...so the user can still choose a start method afterwards.
+            multiprocessing.set_start_method("spawn")
+            assert multiprocessing.get_start_method() == "spawn"
+            print("OK")
+            """
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout

@@ -155,3 +155,65 @@ class TestCli:
             ["bench", "--scenario", "bogus", "--output", str(tmp_path)]
         )
         assert code == 2
+
+
+class TestStoreTrajectory:
+    """Bench reports archived in (and compared against) the result store."""
+
+    def _fake_report(self, seconds, *, quick=True):
+        return {
+            "schema": 1,
+            "quick": quick,
+            "scenarios": {
+                "shared_lp_batch": {
+                    "cases": [
+                        {
+                            "case": "solve_many/shared-lp",
+                            "instances": 2,
+                            "seconds": seconds,
+                        }
+                    ],
+                    "summary": {"seconds": seconds},
+                }
+            },
+        }
+
+    def test_write_report_archives_to_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        write_report(self._fake_report(1.0), tmp_path / "out", store=store)
+        archived = store.latest_run("bench")
+        assert archived is not None
+        assert "shared_lp_batch" in archived["scenarios"]
+
+    def test_empty_output_dir_falls_back_to_store_trajectory(self, tmp_path):
+        from repro.perf.harness import compare_with_previous
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        store.put_run("bench", self._fake_report(2.0))
+        # A fresh output directory has no BENCH_*.json, but the store does:
+        # the comparison continues the durable trajectory instead of
+        # restarting it.
+        comparison = compare_with_previous(
+            self._fake_report(1.0), tmp_path / "fresh", store=store
+        )
+        assert comparison["previous"] == "store:runs/bench"
+        rows = comparison["scenarios"]["shared_lp_batch"]
+        assert rows[0]["seconds_ratio"] == pytest.approx(2.0)
+
+    def test_local_previous_report_still_wins(self, tmp_path):
+        from repro.perf.harness import compare_with_previous
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        store.put_run("bench", self._fake_report(2.0))
+        out = tmp_path / "out"
+        write_report(self._fake_report(4.0), out)
+        comparison = compare_with_previous(
+            self._fake_report(1.0), out, store=store
+        )
+        assert comparison["previous"].startswith("BENCH_")
+        rows = comparison["scenarios"]["shared_lp_batch"]
+        assert rows[0]["seconds_ratio"] == pytest.approx(4.0)

@@ -218,3 +218,98 @@ class TestCli:
         out = capsys.readouterr().out
         assert "zipf-sizes" in out
         assert "incremental-sim" in out
+
+
+class TestVerifyStore:
+    """Store-backed verification: resume + replay semantics."""
+
+    def test_repeated_run_replays_from_store(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        cold = run_verification(budget=3, seed=0, store=store)
+        assert cold["summary"]["cached_scenarios"] == 0
+        assert store.writes == 3
+
+        warm = run_verification(budget=3, seed=0, store=store)
+        assert warm["summary"]["cached_scenarios"] == 3
+        assert store.writes == 3  # nothing recomputed
+        # Identical verification content, scenario by scenario.
+        for a, b in zip(cold["scenarios"], warm["scenarios"]):
+            assert a["scenario"] == b["scenario"]
+            assert a["violations"] == b["violations"]
+            for algo in a["algorithms"]:
+                assert a["algorithms"][algo]["objective"] == pytest.approx(
+                    b["algorithms"][algo]["objective"]
+                )
+
+    def test_partial_store_resumes_the_remainder(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        run_verification(budget=2, seed=0, store=store)
+        # A wider run covers the two stored scenarios for free and only
+        # verifies the new ones.
+        wider = run_verification(budget=4, seed=0, store=store)
+        assert wider["summary"]["cached_scenarios"] == 2
+        assert store.writes == 4
+
+    def test_selections_are_part_of_the_key(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        run_verification(budget=2, seed=0, store=store)
+        narrowed = run_verification(
+            budget=2, seed=0, store=store, algorithms=["fifo"]
+        )
+        # Narrowing the algorithm selection must not replay the wider block.
+        assert narrowed["summary"]["cached_scenarios"] == 0
+        assert narrowed["summary"]["algorithms_run"] == ["fifo"]
+
+    def test_cli_store_flag(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        out_dir = str(tmp_path / "reports")
+        assert (
+            cli_main(
+                ["verify", "--budget", "2", "--seed", "0",
+                 "--store", store_dir, "--output", out_dir]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            cli_main(
+                ["verify", "--budget", "2", "--seed", "0",
+                 "--store", store_dir, "--output", out_dir]
+            )
+            == 0
+        )
+        assert "2 from store" in capsys.readouterr().out
+
+
+class TestCrashBlocksNotCached:
+    """Regression: transient crashes must be retried, never replayed."""
+
+    def test_crash_block_is_recomputed_next_run(self, tmp_path, monkeypatch):
+        from repro.scenarios import engine
+        from repro.store import ResultStore
+        import repro.scenarios.verify as verify_mod
+
+        scenario = engine.build_scenario("bursty-arrivals", 0, 0)
+        store = ResultStore(tmp_path / "store")
+
+        def crashing_solve(*args, **kwargs):
+            raise MemoryError("transient pressure")
+
+        monkeypatch.setattr(verify_mod, "solve", crashing_solve)
+        block = verify_scenario(scenario, store=store)
+        assert any(v["kind"] == "crash" for v in block["violations"])
+        assert store.writes == 0  # the failed block was not checkpointed
+
+        monkeypatch.undo()
+        healed = verify_scenario(scenario, store=store)
+        assert not healed.get("cached")
+        assert healed["violations"] == []
+        assert store.writes == 1  # the clean block now is
+        replay = verify_scenario(scenario, store=store)
+        assert replay.get("cached") is True

@@ -151,3 +151,96 @@ class TestReleaseSemantics:
         first = grid.first_usable_slot(2.0)
         assert grid.slot_end(first) > 2.0
         assert not mask[1, :first].any()
+
+
+class TestHashing:
+    """Regression: TimeGrid defined __eq__ but no __hash__ (unhashable)."""
+
+    def test_grids_are_hashable(self):
+        assert isinstance(hash(TimeGrid.uniform(3)), int)
+        assert isinstance(hash(TimeGrid.geometric(50.0, 0.3)), int)
+
+    def test_hash_consistent_with_equality(self):
+        a = TimeGrid.uniform(4, 0.5)
+        b = TimeGrid.from_boundaries(np.arange(5) * 0.5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_sub_rounding_noise_does_not_split_keys(self):
+        a = TimeGrid.from_boundaries([0.0, 1.0, 2.0])
+        b = TimeGrid.from_boundaries([0.0, 1.0 + 1e-13, 2.0 - 1e-13])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_grids_work_as_dict_keys(self):
+        cache = {TimeGrid.uniform(3): "u3", TimeGrid.geometric(20.0, 0.5): "g"}
+        assert cache[TimeGrid.uniform(3)] == "u3"
+        assert cache[TimeGrid.geometric(20.0, 0.5)] == "g"
+        assert TimeGrid.uniform(4) not in cache
+
+    def test_boundary_digest_is_stable_and_discriminating(self):
+        assert (
+            TimeGrid.uniform(3).boundary_digest()
+            == TimeGrid.uniform(3).boundary_digest()
+        )
+        assert (
+            TimeGrid.uniform(3).boundary_digest()
+            != TimeGrid.uniform(4).boundary_digest()
+        )
+
+
+class TestLargeHorizonTolerances:
+    """Regression: absolute 1e-12/1e-9 tolerances vanish at times ~1e6."""
+
+    @pytest.fixture()
+    def long_grid(self):
+        # A long-horizon geometric grid whose late boundaries are ~1e6;
+        # double precision resolves only ~1e-10 there, so any absolute
+        # tolerance below that is silently a no-op.
+        return TimeGrid.geometric(2e6, 0.1)
+
+    def test_slot_containing_forgives_noise_at_large_boundaries(self, long_grid):
+        slot = long_grid.num_slots - 3
+        end = long_grid.slot_end(slot)
+        assert end > 1e6
+        # A time that is the boundary up to ~1e-7 relative noise must land
+        # in the boundary's own slot, not spill into the next one.
+        noisy = end * (1.0 + 1e-13)
+        assert noisy > end  # the noise is real at this magnitude
+        assert long_grid.slot_containing(noisy) == slot
+
+    def test_horizon_check_is_relative(self, long_grid):
+        noisy_horizon = long_grid.horizon * (1.0 + 1e-12)
+        assert noisy_horizon > long_grid.horizon
+        assert long_grid.slot_containing(noisy_horizon) == long_grid.num_slots - 1
+        with pytest.raises(ValueError):
+            long_grid.slot_containing(long_grid.horizon * 1.01)
+
+    def test_first_usable_slot_excludes_noisy_boundary(self, long_grid):
+        slot = long_grid.num_slots - 3
+        end = long_grid.slot_end(slot)
+        # A release time meant to be exactly the slot's end, but computed
+        # with sub-relative-tolerance rounding error below it: the slot
+        # itself must stay forbidden (Eq. 4: release >= b_t forbids slot t).
+        noisy_release = end * (1.0 - 1e-13)
+        assert noisy_release < end
+        assert long_grid.first_usable_slot(noisy_release) == slot + 1
+        assert long_grid.first_usable_slot(end) == slot + 1
+
+    def test_release_mask_matches_first_usable_slot(self, long_grid):
+        slot = long_grid.num_slots - 4
+        end = long_grid.slot_end(slot)
+        releases = np.array([0.0, end * (1.0 - 1e-13), end])
+        mask = long_grid.release_mask(releases)
+        for row, release in enumerate(releases):
+            first = long_grid.first_usable_slot(release)
+            assert not mask[row, :first].any()
+            assert mask[row, first:].all()
+
+    def test_small_time_behaviour_is_unchanged(self):
+        grid = TimeGrid.uniform(4)
+        assert grid.slot_containing(0.0) == 0
+        assert grid.slot_containing(1.0) == 0
+        assert grid.slot_containing(1.5) == 1
+        assert grid.first_usable_slot(0.0) == 0
+        assert grid.first_usable_slot(1.0) == 1
