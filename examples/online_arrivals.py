@@ -8,10 +8,15 @@ stream of FB-style coflows arriving on SWAN and compares:
 
 * the clairvoyant offline LP heuristic (knows every arrival in advance),
 * the online geometric-batching framework driving that offline algorithm
-  (only knows a coflow once it is released), and
-* a non-clairvoyant greedy online scheduler (weighted SJF at every event).
+  (only knows a coflow once it is released),
+* its work-conserving variant (dispatches early whenever the net is idle),
+* the incremental re-solve policy (re-prioritizes at every arrival from
+  remaining work, via warm-started LPs), and
+* the non-clairvoyant static weighted-SJF baseline.
 
-Run with::
+The online schedules all run through the event-driven engine of
+``repro.online`` — the same code path as the registered ``online-*``
+algorithms.  Run with::
 
     python examples/online_arrivals.py [num_coflows]
 """
@@ -20,7 +25,12 @@ import sys
 
 from repro import swan_topology
 from repro.core import lp_heuristic_schedule, solve_time_indexed_lp
-from repro.online import greedy_online_schedule, online_batch_schedule
+from repro.online import (
+    GeometricBatchingPolicy,
+    IncrementalResolvePolicy,
+    WSJFPolicy,
+    run_online_policy,
+)
 from repro.workloads import WorkloadSpec, generate_instance
 
 
@@ -45,14 +55,20 @@ def main():
 
     lp = solve_time_indexed_lp(instance)
     offline = lp_heuristic_schedule(lp).weighted_completion_time()
-    online = online_batch_schedule(instance, rng=0)
-    greedy = greedy_online_schedule(instance)
+    online = run_online_policy(instance, GeometricBatchingPolicy(2.0))
+    online_wc = run_online_policy(
+        instance, GeometricBatchingPolicy(2.0, early_start=True)
+    )
+    resolve = run_online_policy(instance, IncrementalResolvePolicy())
+    wsjf = run_online_policy(instance, WSJFPolicy())
 
     rows = [
         ("LP lower bound (offline)", lp.objective),
         ("offline LP heuristic (clairvoyant)", offline),
         (f"online batching ({online.num_batches} batches)", online.weighted_completion_time),
-        ("online greedy (weighted SJF)", greedy.weighted_completion_time),
+        (f"work-conserving batching ({online_wc.num_batches} batches)", online_wc.weighted_completion_time),
+        ("online re-solve (per-arrival LPs)", resolve.weighted_completion_time),
+        ("online static weighted SJF", wsjf.weighted_completion_time),
     ]
     width = max(len(name) for name, _ in rows)
     print(f"{'algorithm'.ljust(width)} | weighted completion time | vs offline heuristic")

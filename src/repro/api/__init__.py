@@ -28,6 +28,12 @@ the per-baseline ``*_schedule`` functions) remain available as thin shims.
 
 from repro.api import algorithms as _algorithms  # noqa: F401 - registers built-ins
 from repro.api.batch import solve, solve_many, solve_request
+
+# Registers the online policies (online-batch, online-batch-wc,
+# online-resolve, online-wsjf).  Imported after the batch runner so
+# repro.online can use repro.api submodules freely; worker processes run
+# this __init__ too, so the online entries exist in every child.
+from repro.online import policies as _online_policies  # noqa: E402,F401
 from repro.api.registry import (
     ALL_MODELS,
     AlgorithmInfo,

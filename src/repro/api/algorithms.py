@@ -275,9 +275,12 @@ def _solve_sebf(
     return _baseline_report(sebf_schedule(instance), "sebf", lp_solution)
 
 
-#: Names registered by this module.  Worker processes re-import it, so these
-#: (unlike user-registered algorithms) are guaranteed to exist in every
-#: multiprocessing child regardless of the start method.
+#: Names guaranteed to exist in every multiprocessing child regardless of
+#: the start method (unlike user-registered algorithms): the entries this
+#: module registers, plus the online policies that
+#: :mod:`repro.online.policies` registers when ``repro.api`` is imported —
+#: which importing any ``repro.api`` submodule (as every worker does)
+#: triggers, since Python executes the package ``__init__`` first.
 BUILTIN_ALGORITHMS = frozenset(
     {
         "lp-heuristic",
@@ -290,5 +293,9 @@ BUILTIN_ALGORITHMS = frozenset(
         "fifo",
         "weighted-sjf",
         "sebf",
+        "online-batch",
+        "online-batch-wc",
+        "online-resolve",
+        "online-wsjf",
     }
 )

@@ -76,6 +76,12 @@ class AlgorithmInfo:
         every such algorithm.
     randomized:
         Whether results depend on ``SolverConfig.rng``.
+    online:
+        Whether the algorithm is an *online* policy: it learns a coflow only
+        at its release time and never allocates capacity to a coflow before
+        that.  Online reports carry first-service evidence in their extras,
+        and the ``online-release-respect`` / ``online-lower-bound``
+        invariants of :mod:`repro.scenarios` key off this flag.
     objective_is_wct:
         Whether ``SolveReport.objective`` equals the weighted completion
         time of the reported ``coflow_completion_times`` (true for almost
@@ -93,6 +99,7 @@ class AlgorithmInfo:
     supported_models: Tuple[TransmissionModel, ...] = ALL_MODELS
     uses_shared_lp: bool = False
     randomized: bool = False
+    online: bool = False
     objective_is_wct: bool = True
     description: str = ""
 
@@ -117,6 +124,7 @@ def register_algorithm(
     supported_models: Iterable[TransmissionModel] = ALL_MODELS,
     uses_shared_lp: bool = False,
     randomized: bool = False,
+    online: bool = False,
     objective_is_wct: bool = True,
     description: str = "",
 ) -> Callable[[SolverFn], SolverFn]:
@@ -133,6 +141,7 @@ def register_algorithm(
             supported_models=tuple(supported_models),
             uses_shared_lp=uses_shared_lp,
             randomized=randomized,
+            online=online,
             objective_is_wct=objective_is_wct,
             description=description,
         )
@@ -150,17 +159,22 @@ def get_algorithm(name: str) -> AlgorithmInfo:
 
 
 def available_algorithms(
-    *, model: Optional[TransmissionModel] = None
+    *,
+    model: Optional[TransmissionModel] = None,
+    online: Optional[bool] = None,
 ) -> Tuple[str, ...]:
     """Sorted names of all registered algorithms.
 
     With *model* given, only algorithms supporting that transmission model
-    are listed.
+    are listed; with *online* given, only algorithms whose ``online``
+    capability flag matches (``online=True`` lists the online policies,
+    ``online=False`` the clairvoyant offline algorithms).
     """
     names = (
         name
         for name, info in _REGISTRY.items()
-        if model is None or info.supports(model)
+        if (model is None or info.supports(model))
+        and (online is None or info.online == online)
     )
     return tuple(sorted(names))
 

@@ -117,6 +117,18 @@ class SolveReport:
             return float("inf")
         return self.objective / self.lower_bound
 
+    def competitive_ratio(self, offline_objective: float) -> float:
+        """Objective divided by a clairvoyant offline objective or bound.
+
+        The online-scheduling metric: how much the policy pays for not
+        knowing future arrivals.  Returns ``inf`` for a non-positive
+        reference (mirrors
+        :meth:`repro.online.batch.OnlineScheduleResult.competitive_ratio`).
+        """
+        if offline_objective <= 0:
+            return float("inf")
+        return self.objective / offline_objective
+
     @property
     def is_feasible(self) -> bool:
         """Whether the result passed (or needs no) schedule feasibility check.

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Nine commands cover the common workflows without writing any Python:
+Ten commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -35,6 +35,10 @@ Nine commands cover the common workflows without writing any Python:
     (:mod:`repro.experiments.sweep` / :mod:`repro.store`): completed units
     are checkpointed per chunk, interrupted sweeps resume exactly, and a
     completed sweep re-runs with zero new LP solves.
+``online``
+    Run an online scheduling policy (:mod:`repro.online`) over a trace or
+    a scenario address, event by event, and compare it against the
+    clairvoyant offline schedule.
 """
 
 from __future__ import annotations
@@ -227,6 +231,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="report store coverage of the sweep without solving anything",
     )
 
+    online = sub.add_parser(
+        "online",
+        help="run an online scheduling policy over a trace or scenario",
+    )
+    online.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="instance JSON trace; omit when using --family",
+    )
+    online.add_argument(
+        "--family",
+        default=None,
+        help="scenario family to stream instead of a trace "
+        "(e.g. online-poisson; see `repro verify --list-families`)",
+    )
+    online.add_argument(
+        "--index", type=int, default=0, help="scenario index within the family"
+    )
+    online.add_argument(
+        "--root-seed", type=int, default=0, help="scenario root seed"
+    )
+    online.add_argument(
+        "--policy",
+        choices=["batch", "batch-wc", "resolve", "wsjf"],
+        default="batch",
+        help="online policy: geometric batching, work-conserving batching, "
+        "incremental re-solve, or the static WSJF baseline",
+    )
+    online.add_argument(
+        "--base", type=float, default=2.0, help="epoch growth factor (> 1)"
+    )
+    online.add_argument(
+        "--offline-algorithm",
+        default="lp-heuristic",
+        help="offline algorithm the batching policies delegate batches to",
+    )
+    online.add_argument("--slot-length", type=float, default=1.0)
+    online.add_argument("--seed", type=int, default=0)
+    online.add_argument(
+        "--compare-offline",
+        action="store_true",
+        help="also solve the clairvoyant offline problem and report the "
+        "competitive ratio",
+    )
+
     return parser
 
 
@@ -273,6 +323,8 @@ def _cmd_algorithms(out) -> int:
             flags.append("shared-lp")
         if info.randomized:
             flags.append("randomized")
+        if info.online:
+            flags.append("online")
         rendered_flags = f" [{', '.join(flags)}]" if flags else ""
         print(f"{info.name:<16s} models={models:<22s}{rendered_flags}", file=out)
         if info.description:
@@ -519,6 +571,99 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_online(args, out) -> int:
+    from repro.online import (
+        ArrivalStream,
+        GeometricBatchingPolicy,
+        IncrementalResolvePolicy,
+        OnlineEngine,
+        WSJFPolicy,
+    )
+
+    if (args.trace is None) == (args.family is None):
+        print(
+            "error: give exactly one input — a trace path or --family",
+            file=sys.stderr,
+        )
+        return 2
+    # Flags that only the batching policies read must not be silently
+    # ignored: a "comparison across bases" that never varied anything is
+    # worse than an error.
+    if args.policy in ("resolve", "wsjf"):
+        if args.base != 2.0:
+            print(
+                f"error: --base only applies to the batching policies, "
+                f"not --policy {args.policy}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.offline_algorithm != "lp-heuristic" and not args.compare_offline:
+            print(
+                f"error: --offline-algorithm only applies to the batching "
+                f"policies (or with --compare-offline), not --policy "
+                f"{args.policy}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        if args.family is not None:
+            stream = ArrivalStream.from_scenario(
+                args.family, args.index, args.root_seed
+            )
+        else:
+            stream = ArrivalStream.from_trace(args.trace)
+        if args.policy in ("batch", "batch-wc"):
+            policy = GeometricBatchingPolicy(
+                args.base,
+                offline_algorithm=args.offline_algorithm,
+                early_start=args.policy == "batch-wc",
+            )
+        elif args.policy == "resolve":
+            policy = IncrementalResolvePolicy()
+        else:
+            policy = WSJFPolicy()
+        config = SolverConfig(slot_length=args.slot_length, rng=args.seed)
+        result = OnlineEngine(stream, config=config).run(policy)
+    except (OSError, KeyError, ValueError) as exc:
+        # Missing trace file, unknown family/offline algorithm, bad base.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    instance = stream.instance
+    print(f"stream            : {stream}", file=out)
+    print(f"policy            : {result.algorithm}", file=out)
+    print(
+        f"objective         : {result.weighted_completion_time:.3f} "
+        f"(makespan {result.makespan:.3f})",
+        file=out,
+    )
+    if result.batches:
+        print(f"batches           : {result.num_batches}", file=out)
+        for batch in result.batches:
+            members = ", ".join(
+                instance.coflows[j].name or f"C{j}" for j in batch.coflow_indices
+            )
+            print(
+                f"  epoch {batch.epoch_index:<3d} start t={batch.start_time:<8.3f} "
+                f"makespan {batch.makespan:<8.3f} [{members}]",
+                file=out,
+            )
+    if args.compare_offline:
+        # The same config as the online run, so the clairvoyant baseline
+        # never silently solves under different knobs.
+        offline = solve(instance, args.offline_algorithm, config=config)
+        ratio = result.competitive_ratio(offline.objective)
+        bound = (
+            "n/a" if offline.lower_bound is None else f"{offline.lower_bound:.3f}"
+        )
+        print(
+            f"offline ({args.offline_algorithm}) : {offline.objective:.3f} "
+            f"(LP bound {bound})",
+            file=out,
+        )
+        print(f"competitive ratio : {ratio:.3f}x", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -541,6 +686,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_verify(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "online":
+        return _cmd_online(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

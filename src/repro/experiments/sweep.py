@@ -365,7 +365,12 @@ def _run_instance_group(
     seed), and the shared solution is handed *only* to ``uses_shared_lp``
     algorithms.  Both choices serve the same invariant: a unit's inputs
     (and therefore its stored bytes) depend on its address alone, never on
-    which other units happen to share its chunk or group.
+    which other units happen to share its chunk or group.  This is also why
+    ``online=True`` units never receive the shared clairvoyant LP here
+    (their stored ``lower_bound`` is ``None``), although ``solve_many``
+    attaches it: whether a group happens to contain a shared-LP consumer
+    changes across resumes, and a bound that appears or disappears with
+    group composition would break byte-identical resume.
     """
     instance, unit_tasks, share_lp = task
     results: List[Tuple[str, Dict]] = []

@@ -4,25 +4,57 @@ The paper's conclusion points to online scheduling as the next challenge and
 cites Khuller et al. (LATIN 2018), whose framework turns any offline
 approximation for weighted completion time into an online algorithm by
 batching jobs over geometrically growing intervals.  This package implements
-that framework on top of the offline algorithms of :mod:`repro.core`:
+that framework — and two event-driven alternatives — on top of the offline
+algorithms of :mod:`repro.core`:
 
-* :func:`~repro.online.batch.online_batch_schedule` — the doubling /
-  batching framework: coflows released during one epoch are scheduled
-  together (with the offline LP heuristic or Stretch) once the epoch closes
-  and the previous batch has drained;
-* :func:`~repro.online.batch.greedy_online_schedule` — a simple
-  non-clairvoyant baseline that re-runs a priority rule at every release
-  (used to show what the LP batching buys).
+* :mod:`~repro.online.stream` — :class:`ArrivalStream`: instances, scenario
+  addresses and saved traces viewed as time-ordered arrival sequences;
+* :mod:`~repro.online.engine` — :class:`OnlineEngine`: the event loop
+  (arrivals, epoch closes, batch drains) that runs a policy over a stream
+  and records first-service evidence for the verification invariants;
+* :mod:`~repro.online.policies` — the policies behind one interface:
+  generalized geometric batching (configurable base, optional
+  work-conserving early start), the incremental re-solve policy
+  (per-arrival re-prioritization via warm-started remaining-time LPs) and
+  the non-clairvoyant WSJF baseline.  All four registry entries
+  (``online-batch``, ``online-batch-wc``, ``online-resolve``,
+  ``online-wsjf``) carry the ``online=True`` capability flag and flow
+  through ``solve()``, ``repro sweep`` and ``repro verify``;
+* :func:`~repro.online.batch.online_batch_schedule` /
+  :func:`~repro.online.batch.greedy_online_schedule` — the original
+  single-shot entry points, kept for compatibility (the engine reproduces
+  ``online_batch_schedule`` exactly when early start is off).
 """
 
 from repro.online.batch import (
+    BatchRecord,
     OnlineScheduleResult,
     greedy_online_schedule,
     online_batch_schedule,
 )
+from repro.online.engine import OnlineEngine
+from repro.online.policies import (
+    ONLINE_ALGORITHMS,
+    GeometricBatchingPolicy,
+    IncrementalResolvePolicy,
+    OnlinePolicy,
+    WSJFPolicy,
+    run_online_policy,
+)
+from repro.online.stream import Arrival, ArrivalStream
 
 __all__ = [
+    "Arrival",
+    "ArrivalStream",
+    "BatchRecord",
+    "GeometricBatchingPolicy",
+    "IncrementalResolvePolicy",
+    "ONLINE_ALGORITHMS",
+    "OnlineEngine",
+    "OnlinePolicy",
     "OnlineScheduleResult",
-    "online_batch_schedule",
+    "WSJFPolicy",
     "greedy_online_schedule",
+    "online_batch_schedule",
+    "run_online_policy",
 ]

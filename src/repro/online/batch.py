@@ -30,8 +30,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.api import SolverConfig, get_algorithm, solve
+# No repro.api import at module level: repro.api.__init__ imports
+# repro.online.policies (which imports this module) to register the online
+# algorithms, so pulling the api package in here would make the import
+# order observable.  online_batch_schedule imports what it needs lazily.
 from repro.coflow.instance import CoflowInstance
+from repro.schedule.timegrid import relative_tol
 from repro.sim.simulator import simulate_priority_schedule, static_order_priority
 from repro.sim.rate_allocation import coflow_standalone_time
 from repro.utils.rng import RandomSource
@@ -57,6 +61,20 @@ class BatchRecord:
     #: LP lower bound of the batch sub-problem; ``None`` when the delegated
     #: offline algorithm solves no LP (e.g. a greedy baseline).
     lp_lower_bound: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON rendering (crosses the store / export boundary)."""
+        return {
+            "epoch_index": int(self.epoch_index),
+            "epoch_end": float(self.epoch_end),
+            "start_time": float(self.start_time),
+            "makespan": float(self.makespan),
+            "coflow_indices": [int(j) for j in self.coflow_indices],
+            "offline_objective": float(self.offline_objective),
+            "lp_lower_bound": (
+                None if self.lp_lower_bound is None else float(self.lp_lower_bound)
+            ),
+        }
 
 
 @dataclass
@@ -97,15 +115,39 @@ class OnlineScheduleResult:
         return self.weighted_completion_time / offline_objective
 
 
+def _boundary_tol(magnitude: float) -> float:
+    """Relative epoch-boundary tolerance — the shared ``TimeGrid`` discipline."""
+    return relative_tol(magnitude, 1e-12)
+
+
 def _epoch_index(release_time: float, base: float) -> int:
     """Index of the geometric epoch ``[base^(k-1), base^k)`` containing *release_time*.
 
     Epoch 0 is ``[0, 1)`` so that jobs released at time zero are scheduled
     after one unit of waiting at most.
+
+    Computed from ``log(release)/log(base)`` but corrected with a relative
+    boundary tolerance: the log ratio of a release *exactly at* ``base**k``
+    can round just below the integer (e.g. ``log(1000)/log(10) =
+    2.9999999999999996``), which would land the coflow in the epoch
+    *ending* at its release instead of the one starting there.
     """
-    if release_time < 1.0:
+    if release_time < 0.5:  # comfortably inside epoch 0 (log(0) is -inf)
         return 0
-    return int(np.floor(np.log(release_time) / np.log(base))) + 1
+    k = int(np.floor(np.log(release_time) / np.log(base)))
+    tol = _boundary_tol(release_time)
+    # Release at (or within tolerance of) the upper boundary base**(k+1):
+    # the log ratio rounded below the integer — it belongs to the epoch
+    # starting there.
+    while base ** (k + 1) <= release_time + tol:
+        k += 1
+    # Symmetric guard: the ratio rounded up past the integer (release just
+    # below base**k reported as epoch k + 1).
+    while base**k > release_time + tol:
+        k -= 1
+    # Sub-1 releases collapse into epoch 0 regardless of how negative the
+    # log ratio was (epoch 0 covers all of [0, 1)).
+    return max(k + 1, 0)
 
 
 def _epoch_end(epoch: int, base: float) -> float:
@@ -140,6 +182,10 @@ def online_batch_schedule(
     verify:
         Whether the per-batch schedules are feasibility-checked.
     """
+    from repro.api.batch import solve
+    from repro.api.registry import get_algorithm
+    from repro.api.request import SolverConfig
+
     check_positive(base - 1.0, "base - 1")
     info = get_algorithm(offline_algorithm)
     info.check_supports(instance.model)
@@ -198,24 +244,67 @@ def online_batch_schedule(
     )
 
 
-def greedy_online_schedule(instance: CoflowInstance) -> OnlineScheduleResult:
-    """A non-clairvoyant online baseline: weighted-SJF re-evaluated at releases.
+#: Weights at or below this are treated as zero by :func:`wsjf_ratios`.
+WEIGHT_TOL = 1e-12
 
-    At every event the released, unfinished coflow with the smallest
-    ``standalone time / weight`` ratio gets priority; the continuous-time
-    simulator handles preemption and work conservation.  Unlike the batching
-    framework this baseline never waits, so it is strong on lightly loaded
-    instances and degrades when large low-value coflows arrive early.
+
+def wsjf_ratios(standalone: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``standalone / weight`` ratios with zero/near-zero weights guarded.
+
+    A coflow whose weight underflows to (near) zero contributes nothing to
+    the objective, so it deterministically gets the *worst* ratio
+    (``inf`` — scheduled last) instead of emitting a divide RuntimeWarning
+    and letting ``0/0 = nan`` scramble the sort order.
+    """
+    weights = np.asarray(weights, dtype=float)
+    standalone = np.asarray(standalone, dtype=float)
+    ratio = np.full(standalone.shape, np.inf)
+    positive = weights > WEIGHT_TOL
+    ratio[positive] = standalone[positive] / weights[positive]
+    return ratio
+
+
+def wsjf_order(instance: CoflowInstance) -> tuple:
+    """The static WSJF priority order with its standalone times.
+
+    Returns ``(order, standalone)``: coflow indices sorted by full-demand
+    ``standalone time / weight`` (ties by index, zero weights last — see
+    :func:`wsjf_ratios`).  The one implementation behind both
+    :func:`greedy_online_schedule` and the ``online-wsjf`` policy, so the
+    two can never drift apart.
     """
     standalone = np.array(
         [coflow_standalone_time(instance, j) for j in range(instance.num_coflows)]
     )
-    ratio = standalone / instance.weights
+    ratio = wsjf_ratios(standalone, instance.weights)
     order = sorted(range(instance.num_coflows), key=lambda j: (ratio[j], j))
+    return order, standalone
+
+
+def greedy_online_schedule(instance: CoflowInstance) -> OnlineScheduleResult:
+    """A non-clairvoyant online baseline: *static* weighted-SJF.
+
+    The priority order is computed **once**, from the full-demand standalone
+    time / weight ratio of every coflow, and held fixed for the whole run;
+    the continuous-time simulator handles releases, preemption and work
+    conservation under that static order.  (The per-arrival *re-evaluating*
+    variant — recompute priorities from remaining demand at every release —
+    is the ``online-resolve`` policy of :mod:`repro.online.policies`, run
+    through the event engine.)  Unlike the batching framework this baseline
+    never waits, so it is strong on lightly loaded instances and degrades
+    when large low-value coflows arrive early.
+    """
+    order, standalone = wsjf_order(instance)
     sim = simulate_priority_schedule(instance, static_order_priority(order))
+    # Metadata crosses serialization boundaries (repro.store, CSV/JSON
+    # export), so it is normalized to plain JSON types here — never raw
+    # numpy arrays.
     return OnlineScheduleResult(
         instance=instance,
         algorithm="online-greedy-wsjf",
         coflow_completion_times=sim.coflow_completion_times,
-        metadata={"standalone_times": standalone},
+        metadata={
+            "standalone_times": [float(s) for s in standalone],
+            "order": [int(j) for j in order],
+        },
     )

@@ -1,0 +1,257 @@
+"""The event-driven online scheduling engine.
+
+:class:`OnlineEngine` runs an online *policy* over an
+:class:`~repro.online.stream.ArrivalStream`.  Two policy kinds exist (see
+:mod:`repro.online.policies` for the implementations):
+
+``batching``
+    The engine maintains an explicit event queue — coflow **arrivals**,
+    epoch **closes** and batch **drains** — and the policy decides how
+    arrivals group into batches (epoch assignment, close times, optional
+    work-conserving early dispatch).  Each dispatched batch is handed to a
+    registered *offline* algorithm through :func:`repro.api.batch.solve`
+    with release times reset to the batch start, so the online schedule
+    inherits the offline algorithm's guarantee up to the batching constant
+    (Khuller et al., LATIN 2018 — reference [17] of the paper).
+
+``priority``
+    The policy provides a (possibly stateful) priority function and the
+    engine delegates to the continuous-time incremental simulator
+    (:func:`repro.sim.simulator.simulate_priority_schedule`), which is
+    itself event-driven: releases and flow completions are its events.
+
+Either way the engine reveals a coflow to the policy only at its arrival,
+and the result records *first-service evidence* — the earliest time each
+coflow was allowed to transmit — which the ``online-release-respect``
+invariant of :mod:`repro.scenarios` checks against release times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Submodule imports (not the repro.api package): this module is pulled in
+# while repro.api.__init__ is still initializing (it imports
+# repro.online.policies to register the online algorithms).
+from repro.api.batch import solve
+from repro.api.registry import get_algorithm
+from repro.api.request import SolverConfig
+from repro.coflow.instance import CoflowInstance
+from repro.sim.simulator import simulate_priority_schedule
+
+from repro.online.batch import BatchRecord, OnlineScheduleResult, _boundary_tol
+from repro.online.stream import ArrivalStream
+
+#: Event ordering at equal timestamps: arrivals are observed first (a
+#: boundary-exact arrival belongs to the epoch *starting* at the boundary,
+#: never the one closing), then epochs close, then drains dispatch waiting
+#: batches.
+_ARRIVAL, _CLOSE, _DRAIN = 0, 1, 2
+
+
+def _service_evidence(first_service: np.ndarray) -> List[Optional[float]]:
+    """JSON-safe first-service list (``None`` = the coflow was never served)."""
+    return [None if np.isnan(t) else float(t) for t in first_service]
+
+
+class OnlineEngine:
+    """Runs one online policy over one arrival stream.
+
+    Parameters
+    ----------
+    stream:
+        The arrival stream (instance + time-ordered arrivals).
+    config:
+        Solver configuration forwarded to the offline per-batch solves
+        (``slot_length``, ``epsilon``, ``rng``, ``solver_method``,
+        ``num_samples``, ``verify``).  Grid overrides (``grid`` /
+        ``num_slots``) are *not* forwarded: batch sub-instances need their
+        own automatically suggested horizons.
+    """
+
+    def __init__(
+        self, stream: ArrivalStream, *, config: Optional[SolverConfig] = None
+    ) -> None:
+        self.stream = stream
+        self.config = config if config is not None else SolverConfig()
+
+    def run(self, policy) -> OnlineScheduleResult:
+        """Execute *policy* on the stream and return the online schedule."""
+        if policy.kind == "batching":
+            return self._run_batching(policy)
+        if policy.kind == "priority":
+            return self._run_priority(policy)
+        raise ValueError(
+            f"unknown online policy kind {policy.kind!r} "
+            "(expected 'batching' or 'priority')"
+        )
+
+    # ------------------------------------------------------------------ #
+    # batching policies: explicit arrival/close/drain event loop
+    # ------------------------------------------------------------------ #
+    def _offline_config(self) -> SolverConfig:
+        # Everything passes through except explicit grid overrides: batch
+        # sub-instances need their own automatically suggested horizons.
+        return self.config.replace(grid=None, num_slots=None)
+
+    def _run_batching(self, policy) -> OnlineScheduleResult:
+        instance = self.stream.instance
+        release = instance.coflow_release_times()
+        offline_info = get_algorithm(policy.offline_algorithm)
+        offline_info.check_supports(instance.model)
+        offline_config = self._offline_config()
+
+        num = instance.num_coflows
+        completion = np.zeros(num, dtype=float)
+        first_service = np.full(num, np.nan)
+        batches: List[BatchRecord] = []
+        busy_until = 0.0
+        num_events = 0
+        # pending[epoch] = members arrived but not yet dispatched;
+        # waiting = closed epochs queued behind the running batch (FIFO).
+        pending: Dict[int, List[int]] = {}
+        waiting: List[int] = []
+        closing: set = set()
+
+        heap: List[Tuple[float, int, int, int]] = []
+        seq = 0
+        for arrival in self.stream.arrivals:
+            heapq.heappush(heap, (arrival.time, _ARRIVAL, seq, arrival.coflow_index))
+            seq += 1
+
+        def dispatch(members: List[int], start: float, epoch: int, epoch_end: float):
+            nonlocal busy_until, seq
+            coflows = []
+            for j in members:
+                coflow = instance.coflows[j]
+                flows = [f.with_release_time(0.0) for f in coflow.flows]
+                coflows.append(coflow.with_flows(flows).with_release_time(0.0))
+            batch_instance = CoflowInstance(
+                instance.graph,
+                coflows,
+                model=instance.model,
+                name=f"{instance.name}-epoch{epoch}",
+            )
+            report = solve(
+                batch_instance, policy.offline_algorithm, config=offline_config
+            )
+            batch_times = report.coflow_completion_times
+            for local_j, j in enumerate(members):
+                completion[j] = start + float(batch_times[local_j])
+                first_service[j] = start
+            makespan = float(batch_times.max(initial=0.0))
+            batches.append(
+                BatchRecord(
+                    epoch_index=epoch,
+                    epoch_end=epoch_end,
+                    start_time=start,
+                    makespan=makespan,
+                    coflow_indices=list(members),
+                    offline_objective=report.objective,
+                    lp_lower_bound=report.lower_bound,
+                )
+            )
+            busy_until = start + makespan
+            heapq.heappush(heap, (busy_until, _DRAIN, seq, -1))
+            seq += 1
+
+        def drain_pending_early(now: float) -> None:
+            """Work-conserving early start: batch everything arrived so far."""
+            members = [j for epoch in sorted(pending) for j in pending[epoch]]
+            if not members:
+                return
+            epoch = min(pending)
+            pending.clear()
+            # The batch closed early, at dispatch time rather than at its
+            # epoch boundary; epoch_end records the actual close.
+            dispatch(members, now, epoch, epoch_end=now)
+
+        while heap:
+            # One *instant* at a time: every event within boundary tolerance
+            # of the earliest pending timestamp is handled before any
+            # work-conserving early dispatch, so a burst of simultaneous
+            # arrivals is never split into singleton batches.  Within an
+            # instant the heap yields arrivals, then closes, then drains.
+            now = heap[0][0]
+            tol = _boundary_tol(now)
+            while heap and heap[0][0] <= now + tol:
+                time, kind, _, payload = heapq.heappop(heap)
+                num_events += 1
+                idle = busy_until <= time + tol and not waiting
+                if kind == _ARRIVAL:
+                    j = payload
+                    epoch = policy.epoch_of(float(release[j]))
+                    pending.setdefault(epoch, []).append(j)
+                    if epoch not in closing:
+                        closing.add(epoch)
+                        heapq.heappush(
+                            heap, (policy.epoch_close(epoch), _CLOSE, seq, epoch)
+                        )
+                        seq += 1
+                elif kind == _CLOSE:
+                    epoch = payload
+                    if not pending.get(epoch):
+                        pending.pop(epoch, None)
+                    elif idle:
+                        members = pending.pop(epoch)
+                        dispatch(members, time, epoch, epoch_end=time)
+                    else:
+                        waiting.append(epoch)
+                else:  # _DRAIN
+                    if busy_until > time + tol:
+                        continue  # superseded by a later dispatch
+                    while waiting and not pending.get(waiting[0]):
+                        waiting.pop(0)  # emptied by an early-start dispatch
+                    if waiting:
+                        epoch = waiting.pop(0)
+                        members = pending.pop(epoch)
+                        dispatch(
+                            members, time, epoch, epoch_end=policy.epoch_close(epoch)
+                        )
+            if (
+                policy.early_start
+                and busy_until <= now + tol
+                and not waiting
+                and pending
+            ):
+                drain_pending_early(now)
+
+        return OnlineScheduleResult(
+            instance=instance,
+            algorithm=policy.name,
+            coflow_completion_times=completion,
+            batches=batches,
+            metadata={
+                "policy": policy.name,
+                "offline_algorithm": policy.offline_algorithm,
+                "base": float(policy.base),
+                "early_start": bool(policy.early_start),
+                "num_epochs": len({b.epoch_index for b in batches}),
+                "events": num_events,
+                "first_service_times": _service_evidence(first_service),
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # priority policies: delegate to the event-driven incremental simulator
+    # ------------------------------------------------------------------ #
+    def _run_priority(self, policy) -> OnlineScheduleResult:
+        instance = self.stream.instance
+        priority_fn = policy.priority_function(self.stream, self.config)
+        sim = simulate_priority_schedule(instance, priority_fn, incremental=True)
+        first_service = np.asarray(
+            sim.metadata["first_coflow_service_times"], dtype=float
+        )
+        return OnlineScheduleResult(
+            instance=instance,
+            algorithm=policy.name,
+            coflow_completion_times=sim.coflow_completion_times,
+            metadata={
+                "policy": policy.name,
+                "events": int(sim.metadata.get("events", 0)),
+                "first_service_times": _service_evidence(first_service),
+            },
+        )

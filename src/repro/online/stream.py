@@ -1,0 +1,152 @@
+"""Arrival streams: the input abstraction of the online scheduling engine.
+
+An :class:`ArrivalStream` is a coflow instance viewed *online*: a
+time-ordered sequence of arrival events, one per coflow, at the coflow's
+release time.  The engine (:mod:`repro.online.engine`) consumes streams and
+reveals each coflow to the policy only at its arrival — policies never see
+demands, weights or endpoints of a coflow before it arrives.
+
+Streams can be built from three sources:
+
+* :meth:`ArrivalStream.from_instance` — any :class:`CoflowInstance`; the
+  release times already on the instance define the arrivals.  This is the
+  path the registered online algorithms use, so every workload the offline
+  solvers accept is an online workload too.
+* :meth:`ArrivalStream.from_scenario` — a scenario address
+  ``(family, index, root_seed)`` of the engine in
+  :mod:`repro.scenarios.engine` (e.g. the ``online-poisson`` and
+  ``bursty-arrivals`` families).  Streams built from the same address are
+  bit-identical in any process — the scenario engine's reproducibility
+  contract carries over to online replays.
+* :meth:`ArrivalStream.from_trace` — a saved JSON trace replayed through
+  :func:`repro.workloads.traces.replay_trace` onto a (possibly different)
+  topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.graph import NetworkGraph
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One arrival event: coflow *coflow_index* becomes known at *time*."""
+
+    time: float
+    coflow_index: int
+
+
+class ArrivalStream:
+    """A coflow instance plus its time-ordered arrival sequence.
+
+    Arrivals are ordered by release time, ties broken by coflow index, so
+    the event order is deterministic for any instance.
+    """
+
+    def __init__(self, instance: CoflowInstance, *, name: Optional[str] = None):
+        self._instance = instance
+        self._name = name or instance.name
+        release = instance.coflow_release_times()
+        order = np.lexsort((np.arange(instance.num_coflows), release))
+        self._arrivals: Tuple[Arrival, ...] = tuple(
+            Arrival(time=float(release[j]), coflow_index=int(j)) for j in order
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_instance(cls, instance: CoflowInstance) -> "ArrivalStream":
+        """The stream defined by the instance's own release times."""
+        return cls(instance)
+
+    @classmethod
+    def from_scenario(
+        cls, family: str, index: int, root_seed: int = 0
+    ) -> "ArrivalStream":
+        """The stream of the scenario at address ``(root_seed, family, index)``.
+
+        Bit-reproducible: the same address always yields the same stream, in
+        any process (see :func:`repro.scenarios.engine.build_scenario`).
+        """
+        from repro.scenarios.engine import build_scenario
+
+        scenario = build_scenario(family, index, root_seed)
+        return cls(
+            scenario.instance, name=f"{family}#{index}@{root_seed}"
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        path: str | Path,
+        graph: Optional[NetworkGraph] = None,
+        *,
+        model: TransmissionModel | str = TransmissionModel.FREE_PATH,
+        rng: RandomSource = None,
+    ) -> "ArrivalStream":
+        """Replay a saved JSON trace as a stream (default target: SWAN).
+
+        Full-instance traces replay onto their own topology unless *graph*
+        overrides it; bare coflow traces need *graph* (or fall back to the
+        SWAN WAN) — see :func:`repro.workloads.traces.replay_trace`.
+        """
+        from repro.network.topologies import swan_topology
+        from repro.workloads.traces import load_trace, replay_coflows
+
+        trace = load_trace(path)
+        if isinstance(trace, CoflowInstance) and graph is None:
+            return cls(trace, name=f"trace:{Path(path).stem}")
+        coflows = (
+            list(trace.coflows) if isinstance(trace, CoflowInstance) else trace
+        )
+        target = graph if graph is not None else swan_topology()
+        instance = replay_coflows(
+            coflows,
+            target,
+            model=model,
+            rng=rng,
+            name=f"trace:{Path(path).stem}",
+        )
+        return cls(instance)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def instance(self) -> CoflowInstance:
+        return self._instance
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def arrivals(self) -> Tuple[Arrival, ...]:
+        """All arrival events, time-ordered (ties by coflow index)."""
+        return self._arrivals
+
+    @property
+    def num_arrivals(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def last_arrival_time(self) -> float:
+        return self._arrivals[-1].time if self._arrivals else 0.0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrivalStream({self._name!r}, arrivals={self.num_arrivals}, "
+            f"span=[0, {self.last_arrival_time:g}])"
+        )

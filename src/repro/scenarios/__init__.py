@@ -37,7 +37,11 @@ from repro.scenarios.engine import (
     sample_scenarios,
     scenario_families,
 )
-from repro.scenarios.families import BUILTIN_FAMILIES, expected_model
+from repro.scenarios.families import (
+    BUILTIN_FAMILIES,
+    ONLINE_FAMILIES,
+    expected_model,
+)
 from repro.scenarios.invariants import (
     ScenarioRun,
     check_invariants,
@@ -55,6 +59,7 @@ from repro.scenarios.verify import (
 
 __all__ = [
     "BUILTIN_FAMILIES",
+    "ONLINE_FAMILIES",
     "Scenario",
     "ScenarioFamily",
     "ScenarioRun",

@@ -20,6 +20,12 @@ independent oracle that is kept in the codebase for exactly this purpose —
 ``report-consistency``    SolveReport internals agree with each other and with
                           the instance (finite times, release-time respect,
                           objective == w·C where that must hold)
+``online-release-respect``  online policies never serve a coflow before its
+                          release: the engine's first-service evidence and
+                          every batch start are checked against releases
+``online-lower-bound``    online objectives respect the *clairvoyant*
+                          per-coflow LP bound ``C_j >= r_j + standalone_j``
+                          (recomputed independently per coflow)
 ====================      =====================================================
 
 The checked implementations are referenced through module-level names so
@@ -48,6 +54,7 @@ from repro.core.timeindexed import (
 )
 from repro.core.timeindexed_reference import build_time_indexed_lp_reference
 from repro.schedule.feasibility import check_feasibility
+from repro.schedule.timegrid import relative_tol
 from repro.sim.rate_allocation import coflow_standalone_time
 from repro.sim.simulator import fifo_priority, simulate_priority_schedule
 
@@ -390,4 +397,114 @@ def check_report_consistency(run: ScenarioRun) -> List[str]:
                 )
         if not report.is_feasible:
             violations.append(f"{name}: report flagged infeasible")
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# 7. online policies never allocate before release
+# --------------------------------------------------------------------------- #
+def _online_reports(run: ScenarioRun):
+    for name, report in run.reports.items():
+        if get_algorithm(name).online:
+            yield name, report
+
+
+def _release_tol(release: float) -> float:
+    """Relative boundary tolerance — the shared ``TimeGrid`` discipline."""
+    return relative_tol(release, 1e-9)
+
+
+@register_invariant(
+    "online-release-respect",
+    description="online policies never serve a coflow before its release time",
+)
+def check_online_release_respect(run: ScenarioRun) -> List[str]:
+    """No allocation before release, checked against first-service evidence.
+
+    Every online report carries the engine's evidence: the earliest time
+    each coflow was allowed to transmit (``first_service_times``; batch
+    start for batching policies, first positive simulator rate otherwise),
+    plus per-batch records for batching policies.  Missing evidence is
+    itself a violation — an online result the harness cannot audit has lost
+    its contract.
+    """
+    instance = run.instance
+    release = instance.coflow_release_times()
+    violations: List[str] = []
+    for name, report in _online_reports(run):
+        first = report.extras.get("first_service_times")
+        if first is None:
+            violations.append(
+                f"{name}: online report carries no first-service evidence"
+            )
+            continue
+        if len(first) != instance.num_coflows:
+            violations.append(
+                f"{name}: first-service evidence has {len(first)} entries "
+                f"for {instance.num_coflows} coflows"
+            )
+            continue
+        for j, served_at in enumerate(first):
+            if served_at is None:  # never served (e.g. zero demand)
+                continue
+            if float(served_at) < release[j] - _release_tol(release[j]):
+                violations.append(
+                    f"{name}: coflow {j} first served at {float(served_at):.9g}, "
+                    f"before its release time {release[j]:.9g}"
+                )
+        for batch in report.extras.get("batches") or ():
+            start = float(batch["start_time"])
+            for j in batch["coflow_indices"]:
+                if start < release[int(j)] - _release_tol(release[int(j)]):
+                    violations.append(
+                        f"{name}: batch (epoch {batch['epoch_index']}) starts "
+                        f"at {start:.9g}, before member coflow {j}'s release "
+                        f"time {release[int(j)]:.9g}"
+                    )
+    return violations
+
+
+# --------------------------------------------------------------------------- #
+# 8. online objectives respect the clairvoyant LP lower bound
+# --------------------------------------------------------------------------- #
+@register_invariant(
+    "online-lower-bound",
+    description="online objectives respect the clairvoyant per-coflow LP bound",
+)
+def check_online_lower_bound(run: ScenarioRun) -> List[str]:
+    """Online results can never beat a clairvoyant per-coflow LP bound.
+
+    Every feasible schedule — continuous-time or slotted, online or
+    offline — satisfies ``C_j >= r_j + standalone_j``, where ``standalone_j``
+    is the coflow's max-concurrent-flow LP completion time on the empty
+    network (recomputed independently by :meth:`ScenarioRun.standalone_times`).
+    Summed with the weights this is the clairvoyant lower bound online
+    objectives are held to.  (The *slotted* time-indexed LP objective is
+    deliberately not used here: it quantizes completions to slot ends, which
+    continuous-time schedules may legitimately beat — see
+    ``SolveReport.lower_bound``.)
+    """
+    instance = run.instance
+    release = instance.coflow_release_times()
+    standalone = run.standalone_times()
+    floor_times = release + standalone
+    clairvoyant = float(np.dot(instance.weights, floor_times))
+    violations: List[str] = []
+    for name, report in _online_reports(run):
+        times = report.coflow_completion_times
+        slack = times - floor_times
+        tol = LOWER_BOUND_RTOL * np.maximum(1.0, np.abs(floor_times))
+        if np.any(slack < -tol):
+            worst = int(np.argmin(slack))
+            violations.append(
+                f"{name}: coflow {worst} completes at {times[worst]:.9g}, "
+                f"below its clairvoyant floor release + standalone = "
+                f"{floor_times[worst]:.9g}"
+            )
+        floor_objective = clairvoyant * (1.0 - LOWER_BOUND_RTOL) - 1e-9
+        if report.objective < floor_objective:
+            violations.append(
+                f"{name}: objective {report.objective:.9g} below the "
+                f"clairvoyant lower bound {clairvoyant:.9g}"
+            )
     return violations

@@ -24,7 +24,7 @@ from repro.utils.validation import check_positive
 _CANONICAL_DECIMALS = 9
 
 
-def _relative_tol(magnitude: float, base: float) -> float:
+def relative_tol(magnitude: float, base: float) -> float:
     """*base* scaled up with *magnitude* so it survives float rounding.
 
     An absolute tolerance like ``1e-12`` vanishes once times reach ~1e6
@@ -32,8 +32,17 @@ def _relative_tol(magnitude: float, base: float) -> float:
     comparisons exact.  Scaling by ``max(1, |magnitude|)`` keeps the
     tolerance meaningful at any horizon while preserving the original
     absolute value for small times.
+
+    This is *the* boundary-tolerance discipline for time comparisons —
+    shared by the grid methods below, the online epoch computation
+    (:mod:`repro.online.batch`) and the online verification invariants —
+    so a future tolerance change has exactly one site.
     """
     return base * max(1.0, abs(magnitude))
+
+
+#: Backwards-compatible private alias (internal callers predate the rename).
+_relative_tol = relative_tol
 
 
 class TimeGrid:

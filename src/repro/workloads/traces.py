@@ -42,13 +42,20 @@ def save_trace(trace: TraceLike, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> TraceLike:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace` or ``CoflowInstance.save_json``.
+
+    Besides the two enveloped kinds this accepts the bare
+    :meth:`CoflowInstance.to_dict` format (what ``repro generate`` writes),
+    so every trace file in the repository is a valid arrival-stream source.
+    """
     payload = json.loads(Path(path).read_text())
     kind = payload.get("kind")
     if kind == "instance":
         return CoflowInstance.from_dict(payload["data"])
     if kind == "coflows":
         return [Coflow.from_dict(c) for c in payload["data"]]
+    if kind is None and "coflows" in payload and "graph" in payload:
+        return CoflowInstance.from_dict(payload)
     raise ValueError(f"unrecognized trace file {path} (kind={kind!r})")
 
 

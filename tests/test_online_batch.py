@@ -1,5 +1,8 @@
 """Tests for the online batching framework and the greedy online baseline."""
 
+import json
+import warnings
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.online.batch import (
     _epoch_index,
     greedy_online_schedule,
     online_batch_schedule,
+    wsjf_ratios,
 )
 from repro.workloads.generator import random_instance
 
@@ -52,6 +56,46 @@ class TestEpochIndex:
     def test_other_base(self):
         assert _epoch_index(8.0, 3.0) == 2
         assert _epoch_index(9.5, 3.0) == 3
+
+    @pytest.mark.parametrize("base", [2.0, 3.0, 10.0, 1.5])
+    def test_exact_powers_land_in_the_starting_epoch(self, base):
+        """The float-boundary bug: a release exactly at ``base**k`` belongs
+        to the epoch *starting* there, even when ``log(r)/log(base)`` rounds
+        just below the integer (e.g. ``log(1000)/log(10) = 2.999...96``)."""
+        k = 1
+        while base**k <= 2e6:  # exercise ~1e6 horizons
+            release = float(base**k)
+            assert _epoch_index(release, base) == k + 1, (base, k)
+            # Strictly inside the epoch below the boundary stays put.
+            below = float(np.nextafter(release, 0.0))
+            assert _epoch_index(below, base) in (k, k + 1), (base, k)
+            k += 1
+        assert k > 1  # the loop actually exercised something
+
+    def test_log10_boundary_regression(self):
+        # log(1000)/log(10) == 2.9999999999999996: floor+1 used to yield
+        # epoch 3 ([100, 1000)) although 1000 is outside that interval.
+        assert _epoch_index(1000.0, 10.0) == 4
+
+    def test_non_boundary_releases_unchanged(self):
+        """Regression: away from epoch boundaries the fixed computation
+        agrees with the original ``floor(log ratio) + 1`` everywhere."""
+        rng = np.random.default_rng(0)
+        for base in (2.0, 3.0, 10.0):
+            for release in rng.uniform(0.0, 1e6, size=300):
+                release = float(release)
+                if release < 1.0:
+                    legacy = 0
+                else:
+                    ratio = np.log(release) / np.log(base)
+                    if abs(ratio - round(ratio)) < 1e-9:
+                        continue  # boundary neighborhood: behaviour changed
+                    legacy = int(np.floor(ratio)) + 1
+                assert _epoch_index(release, base) == legacy, (base, release)
+
+    def test_epoch_zero_boundary_tolerance(self):
+        assert _epoch_index(float(np.nextafter(1.0, 0.0)), 2.0) == 1
+        assert _epoch_index(0.9999999, 2.0) == 0
 
 
 class TestOnlineBatchSchedule:
@@ -125,6 +169,38 @@ class TestOnlineBatchSchedule:
         assert slow.num_batches <= fast.num_batches
 
 
+class TestWsjfRatios:
+    def test_zero_weight_gets_worst_ratio_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning fails
+            ratio = wsjf_ratios(
+                np.array([1.0, 2.0, 3.0]), np.array([2.0, 0.0, 1e-15])
+            )
+        assert ratio[0] == pytest.approx(0.5)
+        assert ratio[1] == np.inf and ratio[2] == np.inf
+
+    def test_zero_weight_coflow_is_scheduled_last(self):
+        graph = parallel_edges_topology(1, capacity=1.0)
+
+        def coflow(name, weight):
+            return Coflow(
+                [Flow("x1", "y1", 1.0, path=("x1", "y1"))],
+                weight=weight,
+                name=name,
+            )
+
+        instance = CoflowInstance(
+            graph,
+            [coflow("worthless", 1e-300), coflow("valuable", 5.0)],
+            model="free_path",
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = greedy_online_schedule(instance)
+        assert result.metadata["order"] == [1, 0]
+        assert result.coflow_completion_times[1] < result.coflow_completion_times[0]
+
+
 class TestGreedyOnline:
     def test_completion_after_release(self):
         instance = staggered_instance()
@@ -146,3 +222,13 @@ class TestGreedyOnline:
         # it is at least as good; the batching framework pays its waiting
         # cost in exchange for the worst-case guarantee.
         assert greedy.weighted_completion_time <= batched.weighted_completion_time + 1e-6
+
+    def test_metadata_is_json_serializable(self):
+        """The store/export boundary: no raw numpy arrays in metadata."""
+        instance = staggered_instance()
+        for result in (
+            greedy_online_schedule(instance),
+            online_batch_schedule(instance, rng=0),
+        ):
+            payload = json.dumps(result.metadata)
+            assert json.loads(payload) == result.metadata

@@ -268,6 +268,103 @@ class TestReportConsistencyBugsCaught:
         assert any("weighted completion time" in m for m in messages)
 
 
+class TestOnlineBugsCaught:
+    """The injected 'schedule before release' bug class and its two catchers."""
+
+    def test_service_before_release_is_caught(self, free_run):
+        run = _shallow_copy(free_run)
+        release = run.instance.coflow_release_times()
+        latest = int(np.argmax(release))
+        assert release[latest] > 0, "online-poisson must stagger arrivals"
+        report = _clone_report(run.reports["online-wsjf"])
+        first = list(report.extras["first_service_times"])
+        first[latest] = 0.0  # served at t = 0, before its release
+        report.extras = {**report.extras, "first_service_times": first}
+        run.reports["online-wsjf"] = report
+        messages = violations_of(run, "online-release-respect")
+        assert any("before its release time" in m for m in messages)
+
+    def test_batch_starting_before_release_is_caught(self, free_run):
+        run = _shallow_copy(free_run)
+        report = _clone_report(run.reports["online-batch"])
+        batches = [dict(b) for b in report.extras["batches"]]
+        release = run.instance.coflow_release_times()
+        # Move the batch holding the latest-released coflow to t = 0.
+        latest = int(np.argmax(release))
+        for batch in batches:
+            if latest in batch["coflow_indices"]:
+                batch["start_time"] = 0.0
+        report.extras = {**report.extras, "batches": batches}
+        run.reports["online-batch"] = report
+        messages = violations_of(run, "online-release-respect")
+        assert any("batch" in m and "release" in m for m in messages)
+
+    def test_missing_service_evidence_is_caught(self, free_run):
+        run = _shallow_copy(free_run)
+        report = _clone_report(run.reports["online-resolve"])
+        report.extras = {
+            k: v for k, v in report.extras.items() if k != "first_service_times"
+        }
+        run.reports["online-resolve"] = report
+        messages = violations_of(run, "online-release-respect")
+        assert any("no first-service evidence" in m for m in messages)
+
+    def test_engine_level_early_dispatch_bug_is_caught(self, free_run, monkeypatch):
+        """Inject the bug at its source: an engine that ignores release
+        times and batches everything at t = 0 must be flagged by both online
+        invariants on a re-executed scenario."""
+        import repro.online.engine as engine_module
+        from repro.scenarios.verify import execute_scenario
+
+        original = engine_module.OnlineEngine._run_batching
+
+        def buggy(self, policy):
+            result = original(self, policy)
+            # The "scheduler" shifts every batch (and therefore every
+            # completion and first service) to start at time 0.
+            shift = {}
+            for batch in result.batches:
+                shift.update({j: batch.start_time for j in batch.coflow_indices})
+                batch.start_time = 0.0
+            times = result.coflow_completion_times.copy()
+            for j, start in shift.items():
+                times[j] -= start
+            result.coflow_completion_times = times
+            result.metadata["first_service_times"] = [
+                None if t is None else 0.0
+                for t in result.metadata["first_service_times"]
+            ]
+            return result
+
+        monkeypatch.setattr(engine_module.OnlineEngine, "_run_batching", buggy)
+        run = execute_scenario(
+            free_run.scenario, algorithms=["online-batch", "lp-heuristic"]
+        )
+        assert not run.errors
+        release_violations = violations_of(run, "online-release-respect")
+        bound_violations = violations_of(run, "online-lower-bound")
+        assert release_violations, "release-respect must catch the early dispatch"
+        assert bound_violations, "the clairvoyant bound must catch the early finish"
+
+    def test_completion_below_clairvoyant_floor_is_caught(self, free_run):
+        run = _shallow_copy(free_run)
+        report = _clone_report(run.reports["online-batch"])
+        times = report.coflow_completion_times * 0.01  # impossibly fast
+        report.coflow_completion_times = times
+        report.objective = float(np.dot(run.instance.weights, times))
+        run.reports["online-batch"] = report
+        messages = violations_of(run, "online-lower-bound")
+        assert any("clairvoyant" in m for m in messages)
+
+    def test_offline_algorithms_are_exempt_from_online_invariants(self, free_run):
+        run = _shallow_copy(free_run)
+        report = _clone_report(run.reports["lp-heuristic"])
+        report.extras = {**report.extras, "first_service_times": None}
+        run.reports["lp-heuristic"] = report
+        assert violations_of(run, "online-release-respect") == []
+        assert violations_of(run, "online-lower-bound") == []
+
+
 class TestInvariantRegistry:
     def test_unknown_invariant_rejected(self, free_run):
         with pytest.raises(ValueError, match="unknown invariant"):
