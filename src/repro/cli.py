@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Ten commands cover the common workflows without writing any Python:
+Eleven commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -39,6 +39,12 @@ Ten commands cover the common workflows without writing any Python:
     Run an online scheduling policy (:mod:`repro.online`) over a trace or
     a scenario address, event by event, and compare it against the
     clairvoyant offline schedule.
+``lint``
+    Run the AST-based determinism & discipline analyzer (:mod:`repro.lint`)
+    over the library source: raw entropy, wall-clock reads, float ``==``,
+    non-atomic writes, numpy-at-the-JSON-boundary, registry completeness,
+    silent broad excepts and deprecated shims are all mechanical findings.
+    Writes a machine-readable ``LINT_<date>.json`` with ``--output``.
 """
 
 from __future__ import annotations
@@ -261,7 +267,10 @@ def build_parser() -> argparse.ArgumentParser:
         "incremental re-solve, or the static WSJF baseline",
     )
     online.add_argument(
-        "--base", type=float, default=2.0, help="epoch growth factor (> 1)"
+        "--base",
+        type=float,
+        default=None,
+        help="epoch growth factor (> 1); default 2.0",
     )
     online.add_argument(
         "--offline-algorithm",
@@ -275,6 +284,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also solve the clairvoyant offline problem and report the "
         "competitive ratio",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST-based determinism & discipline analyzer",
+    )
+    lint.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="directory or file to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format on stdout",
+    )
+    lint.add_argument(
+        "--output",
+        default=None,
+        help="also write a machine-readable LINT_<date>.json report "
+        "(directory or .json path)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
     )
 
     return parser
@@ -590,7 +632,7 @@ def _cmd_online(args, out) -> int:
     # ignored: a "comparison across bases" that never varied anything is
     # worse than an error.
     if args.policy in ("resolve", "wsjf"):
-        if args.base != 2.0:
+        if args.base is not None:
             print(
                 f"error: --base only applies to the batching policies, "
                 f"not --policy {args.policy}",
@@ -614,7 +656,7 @@ def _cmd_online(args, out) -> int:
             stream = ArrivalStream.from_trace(args.trace)
         if args.policy in ("batch", "batch-wc"):
             policy = GeometricBatchingPolicy(
-                args.base,
+                args.base if args.base is not None else 2.0,
                 offline_algorithm=args.offline_algorithm,
                 early_start=args.policy == "batch-wc",
             )
@@ -664,6 +706,39 @@ def _cmd_online(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.lint import (
+        format_result,
+        format_rule_table,
+        result_to_json,
+        run_lint,
+        write_lint_report,
+    )
+
+    if args.list_rules:
+        print(format_rule_table(), file=out)
+        return 0
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    try:
+        result = run_lint(args.path, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+
+        # result_to_json is already plain JSON (built from normalized data).
+        print(json.dumps(result_to_json(result), indent=2), file=out)  # repro-lint: allow[R005]
+    else:
+        print(format_result(result), file=out)
+    if args.output is not None:
+        path = write_lint_report(result, args.output)
+        print(f"wrote {path}", file=out)
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """Entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -688,6 +763,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "online":
         return _cmd_online(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -441,8 +441,10 @@ class CoflowInstance:
         )
 
     def save_json(self, path: str | Path) -> None:
-        """Write the instance to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        """Write the instance to a JSON file (atomic temp+rename)."""
+        from repro.utils.io import atomic_write_json
+
+        atomic_write_json(path, self.to_dict())
 
     @classmethod
     def load_json(cls, path: str | Path) -> "CoflowInstance":

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List
 
 from repro.experiments.runner import ExperimentResult
+from repro.utils.io import atomic_write_json, atomic_writer
 
 
 def result_to_records(result: ExperimentResult) -> List[Dict[str, object]]:
@@ -49,7 +50,7 @@ def write_csv(results: Iterable[ExperimentResult], path: str | Path) -> int:
         "series",
         "value",
     ]
-    with path.open("w", newline="") as handle:
+    with atomic_writer(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=fieldnames)
         writer.writeheader()
         for record in records:
@@ -74,7 +75,7 @@ def write_json(results: Iterable[ExperimentResult], path: str | Path) -> None:
                 "timings": result.timings,
             }
         )
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_json(path, payload, sort_keys=True)
 
 
 def read_json(path: str | Path) -> List[dict]:

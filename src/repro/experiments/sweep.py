@@ -52,11 +52,13 @@ from repro.lp.solver import solver_cache
 from repro.network.topologies import named_topology
 from repro.store import (
     ResultStore,
+    canonical_json,
     instance_fingerprint,
     report_to_dict,
     result_key,
     text_key,
 )
+from repro.utils.io import atomic_write_json
 from repro.utils.rng import derive_seed
 from repro.workloads.generator import WorkloadSpec, generate_instance
 
@@ -201,7 +203,7 @@ class SweepSpec:
             for key, value in self.to_dict().items()
             if key != "num_shards"
         }
-        return text_key("sweep", json.dumps(identity, sort_keys=True))
+        return text_key("sweep", canonical_json(identity))
 
     def to_dict(self) -> Dict:
         return {
@@ -243,7 +245,7 @@ class SweepSpec:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def save_json(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+        atomic_write_json(path, self.to_dict())
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,546 @@
+"""The built-in ``repro lint`` rules (R001–R008).
+
+Each rule encodes one invariant a previous PR established at runtime; the
+``rationale`` field records which.  File-scoped rules get a
+:class:`~repro.lint.framework.FileContext`; the registry-completeness rule
+is project-scoped and sees every file at once.  Rules are pure AST
+analyses — they never import or execute the code under inspection, so
+linting a broken tree is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    register_rule,
+)
+
+# --------------------------------------------------------------------------- #
+# R001 — no raw entropy
+# --------------------------------------------------------------------------- #
+#: Legacy numpy global-state entry points (implicit hidden seed state).
+_NUMPY_GLOBAL_STATE = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "bytes",
+}
+
+#: Entropy sources with no reproducible identity at all.
+_RAW_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+                "secrets.token_hex", "secrets.randbelow"}
+
+
+@register_rule(
+    "R001",
+    "no-raw-entropy",
+    description=(
+        "random.*, argless np.random.default_rng(), os.urandom and uuid4 "
+        "are banned; all randomness flows through utils.rng "
+        "(as_generator / derive_seed / derive_rng)"
+    ),
+    rationale=(
+        "PR 3: scenario addressing is bit-reproducible only because every "
+        "stream is derived statelessly from (root_seed, *path)"
+    ),
+    allowed_paths=("utils/rng.py",),
+)
+def check_raw_entropy(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.imports.qualify(node.func)
+        if qual is None:
+            continue
+        if qual.startswith("random.") or qual == "random.Random":
+            yield ctx.finding(
+                node,
+                "R001",
+                f"call to stdlib '{qual}' (process-global entropy); use "
+                "repro.utils.rng.as_generator / derive_rng instead",
+            )
+        elif qual in _RAW_ENTROPY:
+            yield ctx.finding(
+                node,
+                "R001",
+                f"call to '{qual}' (irreproducible entropy); derive "
+                "randomness from a seed via repro.utils.rng",
+            )
+        elif (
+            qual == "numpy.random.default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield ctx.finding(
+                node,
+                "R001",
+                "argless np.random.default_rng() seeds from the OS; pass a "
+                "seed or use repro.utils.rng.as_generator / derive_rng",
+            )
+        elif (
+            qual.startswith("numpy.random.")
+            and qual.rsplit(".", 1)[-1] in _NUMPY_GLOBAL_STATE
+        ):
+            yield ctx.finding(
+                node,
+                "R001",
+                f"legacy numpy global-state API '{qual}'; use a Generator "
+                "from repro.utils.rng instead",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# R002 — no wall clock
+# --------------------------------------------------------------------------- #
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.strftime",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "time.asctime",
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@register_rule(
+    "R002",
+    "no-wall-clock",
+    description=(
+        "time.time() / datetime.now() are banned outside the sanctioned "
+        "stamping helper (utils.timing.report_stamp); durations use "
+        "time.perf_counter"
+    ),
+    rationale=(
+        "PR 2/PR 3: report content must be reproducible from inputs; the "
+        "only wall-clock a report may carry is its 'created' stamp, "
+        "written by one helper"
+    ),
+    allowed_paths=("utils/timing.py",),
+)
+def check_wall_clock(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.imports.qualify(node.func)
+        if qual in _WALL_CLOCK:
+            yield ctx.finding(
+                node,
+                "R002",
+                f"wall-clock read '{qual}'; stamp reports via "
+                "repro.utils.timing.report_stamp()/file_stamp() (durations: "
+                "time.perf_counter)",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# R003 — no float equality
+# --------------------------------------------------------------------------- #
+def _is_floatish(node: ast.expr) -> bool:
+    """Whether *node* is provably a float expression (literal or float())."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_floatish(node.operand)
+    ):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    return False
+
+
+@register_rule(
+    "R003",
+    "no-float-equality",
+    description=(
+        "== / != against float values is banned; use math.isclose or the "
+        "TimeGrid relative-tolerance discipline"
+    ),
+    rationale=(
+        "PR 4: absolute comparisons broke at ~1e6 horizons; all float "
+        "tolerance in the library is relative to magnitude"
+    ),
+)
+def check_float_equality(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if _is_floatish(left) or _is_floatish(right):
+                yield ctx.finding(
+                    node,
+                    "R003",
+                    "float equality comparison; use math.isclose(...) or "
+                    "the TimeGrid relative-tolerance helpers",
+                )
+                break
+
+
+# --------------------------------------------------------------------------- #
+# R004 — no non-atomic writes
+# --------------------------------------------------------------------------- #
+def _write_mode(node: ast.Call, mode_position: int) -> Optional[str]:
+    """The constant file-mode argument of an open-like call, if any."""
+    mode_node: Optional[ast.expr] = None
+    if len(node.args) > mode_position:
+        mode_node = node.args[mode_position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_node = keyword.value
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
+
+
+def _is_writing(mode: Optional[str]) -> bool:
+    return mode is not None and any(ch in mode for ch in "wax+")
+
+
+@register_rule(
+    "R004",
+    "no-nonatomic-write",
+    description=(
+        "open(..., 'w') / Path.write_text are banned; all output files go "
+        "through utils.io.atomic_writer / atomic_write_* (temp + os.replace)"
+    ),
+    rationale=(
+        "PR 4: kill-and-resume is safe only because a file either exists "
+        "completely or not at all; the store's temp+rename discipline is "
+        "now the shared utils.io helper"
+    ),
+    allowed_paths=("utils/io.py",),
+)
+def check_nonatomic_write(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            if _is_writing(_write_mode(node, 1)):
+                yield ctx.finding(
+                    node,
+                    "R004",
+                    "non-atomic open(..., 'w'); use "
+                    "repro.utils.io.atomic_writer / atomic_write_*",
+                )
+            continue
+        qual = ctx.imports.qualify(func)
+        if qual == "os.fdopen":
+            if _is_writing(_write_mode(node, 1)):
+                yield ctx.finding(
+                    node,
+                    "R004",
+                    "non-atomic os.fdopen(..., 'w'); use "
+                    "repro.utils.io.atomic_writer / atomic_write_*",
+                )
+            continue
+        if isinstance(func, ast.Attribute):
+            if func.attr == "open" and _is_writing(_write_mode(node, 0)):
+                yield ctx.finding(
+                    node,
+                    "R004",
+                    "non-atomic .open('w'); use "
+                    "repro.utils.io.atomic_writer / atomic_write_*",
+                )
+            elif func.attr in ("write_text", "write_bytes"):
+                yield ctx.finding(
+                    node,
+                    "R004",
+                    f"non-atomic .{func.attr}(...); use "
+                    "repro.utils.io.atomic_write_text / atomic_write_json",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R005 — plain JSON at the boundary
+# --------------------------------------------------------------------------- #
+@register_rule(
+    "R005",
+    "json-boundary",
+    description=(
+        "direct json.dump/json.dumps only inside the serialization boundary "
+        "(store.serialize, store.fingerprint, utils.io); everything else "
+        "writes via atomic_write_json, which numpy-normalizes first"
+    ),
+    rationale=(
+        "PR 4/PR 5: numpy scalars reaching json.dump either crash or "
+        "silently change rendering; results cross the boundary as plain "
+        "JSON only"
+    ),
+    allowed_paths=("utils/io.py", "store/serialize.py", "store/fingerprint.py"),
+)
+def check_json_boundary(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.imports.qualify(node.func)
+        if qual in ("json.dump", "json.dumps"):
+            yield ctx.finding(
+                node,
+                "R005",
+                f"direct {qual.split('.')[-1]} outside the serialization "
+                "boundary; write files via utils.io.atomic_write_json and "
+                "build keys via store.fingerprint.canonical_json",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# R006 — registry completeness (project-scoped)
+# --------------------------------------------------------------------------- #
+def _registrations(
+    project: ProjectContext,
+) -> List[Tuple[FileContext, ast.AST, Optional[str], Dict[str, object], Set[str]]]:
+    """Every ``@register_algorithm`` site: (file, node, name, kwargs, refs)."""
+    sites = []
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for decorator in node.decorator_list:
+                if not isinstance(decorator, ast.Call):
+                    continue
+                func = decorator.func
+                target = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if target != "register_algorithm":
+                    continue
+                name: Optional[str] = None
+                if decorator.args and isinstance(decorator.args[0], ast.Constant):
+                    value = decorator.args[0].value
+                    name = value if isinstance(value, str) else None
+                kwargs: Dict[str, object] = {}
+                for keyword in decorator.keywords:
+                    if keyword.arg is not None and isinstance(
+                        keyword.value, ast.Constant
+                    ):
+                        kwargs[keyword.arg] = keyword.value.value
+                refs: Set[str] = {node.name}
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Name):
+                        refs.add(child.id)
+                    elif isinstance(child, ast.Attribute):
+                        refs.add(child.attr)
+                sites.append((ctx, decorator, name, kwargs, refs))
+    return sites
+
+
+@register_rule(
+    "R006",
+    "registry-completeness",
+    description=(
+        "every *_schedule entry point in baselines/ is reachable from a "
+        "@register_algorithm registration, and registrations in online "
+        "modules carry online=True"
+    ),
+    rationale=(
+        "PR 1/PR 5: the registry is the single dispatch surface (CLI, "
+        "batch, sweep, verify); an unregistered entry point is invisible "
+        "to all of them, and a mis-flagged online policy dodges the "
+        "online invariants"
+    ),
+    scope="project",
+)
+def check_registry_completeness(project: ProjectContext) -> Iterator[Finding]:
+    sites = _registrations(project)
+    referenced: Set[str] = set()
+    for _ctx, _node, _name, _kwargs, refs in sites:
+        referenced.update(refs)
+
+    # (a) completeness: baselines entry points must be reachable.
+    for ctx in project.matching("baselines/*.py"):
+        for node in ctx.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") or not node.name.endswith("_schedule"):
+                continue
+            if node.name not in referenced:
+                yield ctx.finding(
+                    node,
+                    "R006",
+                    f"schedule entry point '{node.name}' is not referenced "
+                    "by any @register_algorithm registration; register it "
+                    "so the CLI/batch/sweep/verify layers can reach it",
+                )
+
+    # (b) flag consistency: online modules register online policies.
+    online_files = {id(c) for c in project.matching("online/*.py")}
+    for ctx, node, name, kwargs, _refs in sites:
+        label = name or "<dynamic>"
+        if id(ctx) in online_files and kwargs.get("online") is not True:
+            yield ctx.finding(
+                node,
+                "R006",
+                f"registration '{label}' in an online module must set "
+                "online=True so the online invariants cover it",
+            )
+        elif (
+            name is not None
+            and name.startswith("online-")
+            and kwargs.get("online") is not True
+        ):
+            yield ctx.finding(
+                node,
+                "R006",
+                f"registration '{label}' is named like an online policy "
+                "but does not set online=True",
+            )
+
+    # (c) an online/policies.py module with no registrations at all has
+    # fallen out of the registry entirely.
+    for ctx in project.matching("online/policies.py"):
+        if not any(id(site_ctx) == id(ctx) for site_ctx, *_ in sites):
+            yield Finding(
+                path=ctx.rel,
+                line=1,
+                col=1,
+                rule="R006",
+                message=(
+                    "online/policies.py defines no @register_algorithm "
+                    "registration; online policies must be registered"
+                ),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# R007 — no silent broad except
+# --------------------------------------------------------------------------- #
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises the caught exception (bare ``raise``)."""
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _broad_names(type_node: Optional[ast.expr]) -> List[str]:
+    if type_node is None:
+        return ["bare except"]
+    nodes = (
+        list(type_node.elts) if isinstance(type_node, ast.Tuple) else [type_node]
+    )
+    return [
+        node.id
+        for node in nodes
+        if isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+    ]
+
+
+@register_rule(
+    "R007",
+    "no-silent-broad-except",
+    description=(
+        "except Exception / bare except is banned unless the handler "
+        "re-raises; sanctioned crash-recording sites carry an explicit "
+        "allow[R007]"
+    ),
+    rationale=(
+        "PR 3: the verification harness records crashes as data "
+        "deliberately; everywhere else a broad except hides programming "
+        "errors behind plausible results"
+    ),
+)
+def check_broad_except(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = _broad_names(node.type)
+        if not broad or _handler_reraises(node):
+            continue
+        label = broad[0]
+        yield ctx.finding(
+            node,
+            "R007",
+            f"broad '{'except' if label == 'bare except' else f'except {label}'}'"
+            " silently swallows programming errors; catch the specific "
+            "failure types (or re-raise)",
+        )
+
+
+# --------------------------------------------------------------------------- #
+# R008 — no deprecated shims
+# --------------------------------------------------------------------------- #
+_DEPRECATED = {"solve_coflow_schedule", "SchedulingOutcome"}
+
+
+@register_rule(
+    "R008",
+    "no-deprecated-shims",
+    description=(
+        "solve_coflow_schedule / SchedulingOutcome are external "
+        "compatibility shims; inside src/ everything dispatches through "
+        "repro.api (solve / SolveReport)"
+    ),
+    rationale=(
+        "PR 1: the unified API is the single dispatch surface; internal "
+        "shim usage would let capability flags and report semantics drift"
+    ),
+    allowed_paths=(
+        "__init__.py",
+        "core/__init__.py",
+        "core/scheduler.py",
+        "api/report.py",
+    ),
+)
+def check_deprecated_shims(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name in _DEPRECATED:
+                    yield ctx.finding(
+                        node,
+                        "R008",
+                        f"import of deprecated shim '{alias.name}'; use "
+                        "repro.api.solve / SolveReport inside src/",
+                    )
+        elif isinstance(node, ast.Name) and node.id in _DEPRECATED:
+            yield ctx.finding(
+                node,
+                "R008",
+                f"use of deprecated shim '{node.id}'; use repro.api.solve "
+                "/ SolveReport inside src/",
+            )
+        elif isinstance(node, ast.Attribute) and node.attr in _DEPRECATED:
+            yield ctx.finding(
+                node,
+                "R008",
+                f"use of deprecated shim '{node.attr}'; use repro.api.solve "
+                "/ SolveReport inside src/",
+            )
+
+
+#: Importing this module registers every built-in rule; the tuple is the
+#: stable public catalogue (mirrors scenarios.families' registration style).
+BUILTIN_RULES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008")

@@ -1,0 +1,197 @@
+"""Lint execution: walk a tree, run the rules, apply suppressions.
+
+:func:`run_lint` is the single entry point the CLI and the tests use.  It
+returns a :class:`LintResult` whose findings are already suppression-
+filtered, augmented with ``R000`` unused-suppression findings and sorted —
+the CLI only formats and exits.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint import rules as _rules  # noqa: F401 - registers the built-ins
+from repro.lint.framework import (
+    PARSE_ERROR,
+    UNUSED_SUPPRESSION,
+    FileContext,
+    Finding,
+    ProjectContext,
+    get_rule,
+    rule_codes,
+)
+
+
+def default_root() -> Path:
+    """The installed ``repro`` package directory — what ``repro lint`` checks."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def iter_python_files(root: Path) -> List[Path]:
+    """Every ``.py`` file under *root* (sorted; ``__pycache__`` skipped)."""
+    if root.is_file():
+        return [root]
+    return sorted(
+        path
+        for path in root.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (already filtered and sorted)."""
+
+    root: Path
+    findings: List[Finding]
+    files_checked: int
+    rules_run: Tuple[str, ...]
+    suppressions_used: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _build_contexts(
+    root: Path, files: Sequence[Path]
+) -> Tuple[List[FileContext], List[Finding]]:
+    contexts: List[FileContext] = []
+    parse_failures: List[Finding] = []
+    for path in files:
+        rel = (
+            path.relative_to(root).as_posix()
+            if root.is_dir()
+            else path.name
+        )
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", None) or 1
+            parse_failures.append(
+                Finding(
+                    path=rel,
+                    line=int(line),
+                    col=1,
+                    rule=PARSE_ERROR,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+            continue
+        contexts.append(FileContext(path=path, rel=rel, source=source, tree=tree))
+    return contexts, parse_failures
+
+
+def run_lint(
+    root: Optional[str | Path] = None,
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint *root* (default: the installed ``repro`` package).
+
+    Parameters
+    ----------
+    root:
+        Directory (or single file) to analyze.
+    select:
+        Rule codes to run (default: all registered rules).  Unknown codes
+        raise ``ValueError`` with the catalogue, mirroring the scenario
+        engine's fail-fast validation.
+
+    Returns
+    -------
+    LintResult
+        Suppression-filtered findings (sorted by path/line/col/rule) plus
+        ``R000`` findings for suppressions that matched nothing — a stale
+        ``allow[...]`` is itself a finding, so the allowlist cannot rot.
+    """
+    root = Path(root) if root is not None else default_root()
+    if not root.exists():
+        raise ValueError(f"lint target {root} does not exist")
+    chosen = tuple(select) if select is not None else rule_codes()
+    if not chosen:
+        raise ValueError("select must name at least one rule")
+    # R000 (unused suppressions) and E001 (parse errors) are meta-checks,
+    # selectable but not registry entries; everything else fails fast on
+    # typos with the full catalogue in the message.
+    infos = [
+        get_rule(code)
+        for code in chosen
+        if code not in (UNUSED_SUPPRESSION, PARSE_ERROR)
+    ]
+
+    files = iter_python_files(root)
+    contexts, findings = _build_contexts(root, files)
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    project = ProjectContext(root=root, files=contexts)
+
+    raw: List[Finding] = []
+    for info in infos:
+        if info.scope == "project":
+            raw.extend(info.check(project))
+        else:
+            for ctx in contexts:
+                if info.exempts(ctx.rel):
+                    continue
+                raw.extend(info.check(ctx))
+
+    # Apply suppressions: an allow[CODE] comment on the finding's line
+    # silences it and marks the suppression as consumed.
+    consumed: Set[Tuple[str, int, str]] = set()
+    for finding in raw:
+        ctx = by_rel.get(finding.path)
+        allowed = ctx.suppressions.get(finding.line, set()) if ctx else set()
+        if finding.rule in allowed:
+            consumed.add((finding.path, finding.line, finding.rule))
+        else:
+            findings.append(finding)
+
+    # Report unused (or unknown-code) suppressions, unless R000 itself was
+    # deselected.  A suppression for a rule outside the current selection
+    # is not "unused" — the rule never ran, so it had no chance to match.
+    registered = set(rule_codes())
+    if UNUSED_SUPPRESSION in chosen or select is None:
+        for ctx in contexts:
+            for line, codes in sorted(ctx.suppressions.items()):
+                for code in sorted(codes):
+                    if code in registered and code not in chosen:
+                        continue
+                    if (ctx.rel, line, code) in consumed:
+                        continue
+                    reason = (
+                        "suppresses nothing on this line"
+                        if code in registered
+                        else "names an unknown rule"
+                    )
+                    findings.append(
+                        Finding(
+                            path=ctx.rel,
+                            line=line,
+                            col=1,
+                            rule=UNUSED_SUPPRESSION,
+                            message=(
+                                f"unused suppression: allow[{code}] {reason}; "
+                                "remove the stale comment"
+                            ),
+                        )
+                    )
+
+    return LintResult(
+        root=root,
+        findings=sorted(findings),
+        files_checked=len(files),
+        rules_run=chosen,
+        suppressions_used=len(consumed),
+    )

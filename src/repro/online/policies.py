@@ -163,7 +163,7 @@ class IncrementalResolvePolicy(OnlinePolicy):
                 remaining_time = np.zeros(num, dtype=float)
                 for j in np.nonzero(released)[0]:
                     rate = max_concurrent_rate(inst, int(j), remaining)
-                    if rate == float("inf"):
+                    if np.isinf(rate):
                         remaining_time[j] = 0.0
                     elif rate <= RATE_TOL:
                         remaining_time[j] = float("inf")

@@ -34,7 +34,6 @@ from __future__ import annotations
 import json
 import platform
 import time
-from datetime import datetime
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +51,8 @@ from repro.sim.reference import (
     standalone_times_reference,
 )
 from repro.sim.simulator import simulate_priority_schedule
+from repro.utils.io import atomic_write_json
+from repro.utils.timing import file_stamp, report_stamp
 from repro.workloads.generator import WorkloadSpec, generate_instance
 
 SCHEMA_VERSION = 1
@@ -365,7 +366,7 @@ def run_bench(
     sim_repeats = repeats if repeats is not None else (1 if quick else 2)
     report: Dict = {
         "schema": SCHEMA_VERSION,
-        "created": datetime.now().isoformat(timespec="seconds"),
+        "created": report_stamp(),
         "quick": quick,
         "repeats": {"lp_build": build_repeats, "simulator": sim_repeats},
         "environment": {
@@ -401,9 +402,8 @@ def write_report(
     """
     directory = Path(output_dir)
     directory.mkdir(parents=True, exist_ok=True)
-    stamp = datetime.now().strftime("%Y%m%d-%H%M%S")
-    path = directory / f"BENCH_{stamp}.json"
-    path.write_text(json.dumps(report, indent=2, sort_keys=False))
+    path = directory / f"BENCH_{file_stamp()}.json"
+    atomic_write_json(path, report)
     if store is not None:
         store.put_run("bench", report)
     return path

@@ -157,7 +157,9 @@ def check_invariants(
         info = get_invariant(name)
         try:
             results[name] = list(info.check(run))
-        except Exception as exc:  # an invariant crashing is itself a failure
+        # A buggy invariant must surface as a *violation*, never abort the
+        # differential run — this is the one sanctioned catch-all.
+        except Exception as exc:  # repro-lint: allow[R007]
             results[name] = [f"invariant raised {type(exc).__name__}: {exc}"]
     return results
 

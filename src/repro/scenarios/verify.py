@@ -18,10 +18,8 @@ a verification run can never silently lose coverage.
 
 from __future__ import annotations
 
-import json
 import platform
 import time
-from datetime import datetime
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -32,6 +30,8 @@ from repro.core.timeindexed import solve_time_indexed_lp
 from repro.lp.solver import solver_cache
 from repro.store import ResultStore, config_fingerprint, text_key
 from repro.store.fingerprint import FingerprintError
+from repro.utils.io import atomic_write_json
+from repro.utils.timing import file_stamp, report_stamp
 
 from repro.scenarios import families as _families  # noqa: F401 - registers built-ins
 from repro.scenarios.engine import Scenario, sample_scenarios, scenario_families
@@ -47,6 +47,24 @@ SCHEMA_VERSION = 1
 #: λ draws for the stretch sampling algorithms during verification: enough
 #: to exercise the multi-draw paths, small enough for a budget-50 nightly.
 VERIFY_NUM_SAMPLES = 3
+
+#: What counts as an algorithm/LP *crash* during scenario execution: the
+#: failure modes a solver or baseline can plausibly raise.  Recorded in
+#: ``ScenarioRun.errors`` (the crash invariant reports them) instead of
+#: aborting the whole verification run.  Deliberately a tuple, not a broad
+#: ``except Exception`` — a ``KeyboardInterrupt``, assertion failure or
+#: typo-level ``NameError`` must still abort.
+SOLVER_FAILURES = (
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    ArithmeticError,
+    RuntimeError,
+    NotImplementedError,
+    MemoryError,
+    OSError,
+)
 
 
 def execute_scenario(
@@ -93,14 +111,14 @@ def execute_scenario(
                 epsilon=cfg.epsilon,
                 solver_method=cfg.solver_method,
             )
-        except Exception as exc:
+        except SOLVER_FAILURES as exc:
             run.errors["shared-lp"] = f"{type(exc).__name__}: {exc}"
         for name in names:
             try:
                 run.reports[name] = solve(
                     instance, name, config=cfg, lp_solution=run.lp_solution
                 )
-            except Exception as exc:
+            except SOLVER_FAILURES as exc:
                 run.errors[name] = f"{type(exc).__name__}: {exc}"
     return run
 
@@ -288,7 +306,7 @@ def run_verification(
     )
     return {
         "schema": SCHEMA_VERSION,
-        "created": datetime.now().isoformat(timespec="seconds"),
+        "created": report_stamp(),
         "budget": budget,
         "seed": seed,
         "families": list(families) if families else list(scenario_families()),
@@ -326,12 +344,10 @@ def write_verification_report(report: Dict, output: str | Path = ".") -> Path:
     path = Path(output)
     if path.suffix != ".json":
         path.mkdir(parents=True, exist_ok=True)
-        stamp = datetime.now().strftime("%Y%m%d-%H%M%S")
-        path = path / f"VERIFY_{stamp}.json"
+        path = path / f"VERIFY_{file_stamp()}.json"
     else:
         path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(report, indent=2))
-    return path
+    return atomic_write_json(path, report)
 
 
 def format_verification_report(report: Dict) -> str:

@@ -599,7 +599,7 @@ def coflow_standalone_time(
     LP families of Terra and the greedy baselines are solved once.
     """
     alpha = max_concurrent_rate(instance, coflow_index, remaining)
-    if alpha == float("inf"):
+    if np.isinf(alpha):
         return 0.0
     if alpha <= RATE_TOL:
         raise ValueError(

@@ -255,7 +255,7 @@ def standalone_times_reference(instance: CoflowInstance) -> np.ndarray:
             if demands[r.global_index] > RATE_TOL
         ]
         alpha = min(alphas) if alphas else float("inf")
-        times[j] = 0.0 if alpha == float("inf") else 1.0 / alpha
+        times[j] = 0.0 if np.isinf(alpha) else 1.0 / alpha
     return times
 
 

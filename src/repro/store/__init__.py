@@ -27,6 +27,7 @@ Components
 from repro.store.fingerprint import (
     FINGERPRINT_SCHEMA,
     FingerprintError,
+    canonical_json,
     config_fingerprint,
     grid_fingerprint,
     instance_fingerprint,
@@ -52,6 +53,7 @@ __all__ = [
     "ResultStore",
     "cacheable_config",
     "cached_solve",
+    "canonical_json",
     "canonical_payload_bytes",
     "config_fingerprint",
     "grid_fingerprint",

@@ -52,6 +52,16 @@ def _digest(parts: Iterable[bytes]) -> str:
     return digest.hexdigest()
 
 
+def canonical_json(payload: object) -> str:
+    """The canonical JSON text of *payload*: sorted keys, no whitespace.
+
+    Every fingerprint in the repository hashes this exact form; callers
+    that need a stable textual identity (e.g. sweep ids) must use it too,
+    so two serializations of the same document can never diverge.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def instance_fingerprint(instance: CoflowInstance) -> str:
     """Stable hex fingerprint of an instance's solver-visible content.
 
@@ -64,8 +74,7 @@ def instance_fingerprint(instance: CoflowInstance) -> str:
     payload = instance.to_dict()
     payload.pop("name", None)
     payload["graph"].pop("name", None)
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return _digest([b"instance", canonical.encode("utf-8")])
+    return _digest([b"instance", canonical_json(payload).encode("utf-8")])
 
 
 def grid_fingerprint(grid: Optional[TimeGrid]) -> str:
@@ -101,8 +110,7 @@ def config_fingerprint(config: SolverConfig) -> str:
         "compact": config.compact,
         "verify": config.verify,
     }
-    canonical = json.dumps(fields, sort_keys=True, separators=(",", ":"))
-    return _digest([b"config", canonical.encode("utf-8")])
+    return _digest([b"config", canonical_json(fields).encode("utf-8")])
 
 
 def result_key(

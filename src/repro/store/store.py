@@ -24,10 +24,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
-import time
 from pathlib import Path
 from typing import Dict, List, Optional
+
+from repro.utils.io import atomic_write_json
+from repro.utils.timing import report_stamp
 
 #: Version of the on-disk envelope; entries with a different version are
 #: misses (and are left untouched — a newer store format is not "corrupt").
@@ -77,19 +78,7 @@ class ResultStore:
     @staticmethod
     def _atomic_write(path: Path, document: Dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(document, handle, indent=2, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, document, sort_keys=True)
 
     # ------------------------------------------------------------------ #
     # content-addressed objects
@@ -148,7 +137,7 @@ class ResultStore:
             "schema": STORE_SCHEMA,
             "key": key,
             "kind": kind,
-            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "created": report_stamp(),
             "payload": payload,
         }
         self._atomic_write(path, envelope)

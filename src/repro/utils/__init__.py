@@ -2,12 +2,19 @@
 
 This package holds small, dependency-free helpers used throughout the
 library: seeded random-number management (:mod:`repro.utils.rng`),
-wall-clock timing (:mod:`repro.utils.timing`), and argument validation
+wall-clock timing and report stamping (:mod:`repro.utils.timing`), atomic
+file writing (:mod:`repro.utils.io`), and argument validation
 (:mod:`repro.utils.validation`).
 """
 
+from repro.utils.io import (
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    normalize_json,
+)
 from repro.utils.rng import RandomSource, derive_rng, derive_seed, spawn_rng
-from repro.utils.timing import Stopwatch, timed
+from repro.utils.timing import Stopwatch, file_stamp, report_stamp, timed
 from repro.utils.validation import (
     check_finite,
     check_in_range,
@@ -23,6 +30,12 @@ __all__ = [
     "spawn_rng",
     "Stopwatch",
     "timed",
+    "report_stamp",
+    "file_stamp",
+    "atomic_writer",
+    "atomic_write_text",
+    "atomic_write_json",
+    "normalize_json",
     "check_finite",
     "check_in_range",
     "check_nonnegative",

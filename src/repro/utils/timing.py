@@ -4,6 +4,14 @@ The experiment harness reports LP build and solve times (the paper's
 Section 6.1 discusses the LP-size / solution-quality trade-off), so the
 library carries a tiny, dependency-free stopwatch rather than pulling in a
 profiling framework.
+
+This module is also the library's **only sanctioned wall-clock site**
+(lint rule R002): report writers stamp their artifacts through
+:func:`report_stamp` / :func:`file_stamp` instead of calling
+``datetime.now()`` themselves, so results never depend on the clock
+anywhere an algorithm could observe it.  Durations measured with
+``time.perf_counter`` (the stopwatch below) are monotonic measurement
+metadata, not wall-clock, and are fine anywhere.
 """
 
 from __future__ import annotations
@@ -11,9 +19,31 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from datetime import datetime
 from typing import Callable, Dict, Iterator, TypeVar
 
 T = TypeVar("T")
+
+
+def report_stamp() -> str:
+    """The current wall-clock time as an ISO stamp (``2026-08-07T12:34:56``).
+
+    The single place the library reads the wall clock for *content* — the
+    ``created`` field of BENCH / VERIFY / LINT reports and store envelopes.
+    Everything else must treat time as an input (release times, seeds) or a
+    measurement (``perf_counter`` durations), never as hidden state.
+    """
+    return datetime.now().isoformat(timespec="seconds")
+
+
+def file_stamp() -> str:
+    """A filename-safe rendering of :func:`report_stamp` (``20260807-123456``).
+
+    Used for the ``BENCH_<stamp>.json`` / ``VERIFY_<stamp>.json`` /
+    ``LINT_<stamp>.json`` report-family filenames.  Derived from
+    :func:`report_stamp` so there is exactly one wall-clock read path.
+    """
+    return report_stamp().replace("-", "").replace(":", "").replace("T", "-")
 
 
 @dataclass

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Union
 from repro.coflow.coflow import Coflow
 from repro.coflow.instance import CoflowInstance, TransmissionModel
 from repro.network.graph import NetworkGraph
+from repro.utils.io import atomic_write_json
 from repro.utils.rng import RandomSource, as_generator
 
 TraceLike = Union[CoflowInstance, List[Coflow]]
@@ -38,7 +39,7 @@ def save_trace(trace: TraceLike, path: str | Path) -> None:
             "kind": "coflows",
             "data": [c.to_dict() for c in trace],
         }
-    path.write_text(json.dumps(payload, indent=2))
+    atomic_write_json(path, payload)
 
 
 def load_trace(path: str | Path) -> TraceLike:

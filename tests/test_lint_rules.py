@@ -1,0 +1,544 @@
+"""Per-rule injected-violation fixtures for ``repro lint``.
+
+Every rule gets at least one fixture tree containing a violation it must
+catch (the analyzer equivalent of the scenario engine's corruption tests:
+a checker that cannot fire proves nothing) plus a negative case showing
+the sanctioned idiom passes.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.rules import BUILTIN_RULES
+
+
+def write_module(tmp_path, rel, code):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code))
+    return path
+
+
+def lint_codes(tmp_path, **kwargs):
+    result = run_lint(tmp_path, **kwargs)
+    return [f.rule for f in result.findings]
+
+
+# --------------------------------------------------------------------------- #
+# R001 — raw entropy
+# --------------------------------------------------------------------------- #
+class TestR001RawEntropy:
+    def test_stdlib_random_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+        )
+        assert "R001" in lint_codes(tmp_path, select=["R001"])
+
+    def test_argless_default_rng_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import numpy as np
+
+            def fresh():
+                return np.random.default_rng()
+            """,
+        )
+        assert "R001" in lint_codes(tmp_path, select=["R001"])
+
+    def test_seeded_default_rng_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import numpy as np
+
+            def seeded(seed):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R001"]) == []
+
+    def test_legacy_numpy_global_state_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import numpy as np
+
+            def draw():
+                np.random.seed(0)
+                return np.random.rand(3)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R001"]).count("R001") == 2
+
+    def test_os_urandom_and_uuid4_are_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import os
+            import uuid
+
+            def token():
+                return os.urandom(8), uuid.uuid4()
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R001"]).count("R001") == 2
+
+    def test_sanctioned_rng_module_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "utils/rng.py",
+            """
+            import numpy as np
+
+            def entropy_seed():
+                return np.random.default_rng()
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R001"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R002 — wall clock
+# --------------------------------------------------------------------------- #
+class TestR002WallClock:
+    def test_time_time_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert "R002" in lint_codes(tmp_path, select=["R002"])
+
+    def test_datetime_now_is_flagged_through_from_import(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now().isoformat()
+            """,
+        )
+        assert "R002" in lint_codes(tmp_path, select=["R002"])
+
+    def test_perf_counter_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import time
+
+            def duration():
+                return time.perf_counter()
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R002"]) == []
+
+    def test_sanctioned_timing_module_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "utils/timing.py",
+            """
+            from datetime import datetime
+
+            def report_stamp():
+                return datetime.now().isoformat(timespec="seconds")
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R002"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R003 — float equality
+# --------------------------------------------------------------------------- #
+class TestR003FloatEquality:
+    def test_float_literal_equality_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def check(x):
+                return x == 1.0
+            """,
+        )
+        assert "R003" in lint_codes(tmp_path, select=["R003"])
+
+    def test_float_inf_comparison_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def check(alpha):
+                return alpha != float("inf")
+            """,
+        )
+        assert "R003" in lint_codes(tmp_path, select=["R003"])
+
+    def test_negative_float_literal_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def check(x):
+                return -1.5 == x
+            """,
+        )
+        assert "R003" in lint_codes(tmp_path, select=["R003"])
+
+    def test_integer_equality_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def check(n):
+                return n == 3 or n != 0
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R003"]) == []
+
+    def test_float_ordering_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def check(x):
+                return x <= 1.0 or x > 2.5
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R003"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R004 — non-atomic writes
+# --------------------------------------------------------------------------- #
+class TestR004NonAtomicWrite:
+    def test_open_w_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def save(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert "R004" in lint_codes(tmp_path, select=["R004"])
+
+    def test_write_text_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            from pathlib import Path
+
+            def save(path, text):
+                Path(path).write_text(text)
+            """,
+        )
+        assert "R004" in lint_codes(tmp_path, select=["R004"])
+
+    def test_path_open_w_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def save(path, text):
+                with path.open("w", newline="") as handle:
+                    handle.write(text)
+            """,
+        )
+        assert "R004" in lint_codes(tmp_path, select=["R004"])
+
+    def test_reads_pass(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            from pathlib import Path
+
+            def load(path):
+                with open(path) as handle:
+                    return handle.read() + Path(path).read_text()
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R004"]) == []
+
+    def test_sanctioned_io_module_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "utils/io.py",
+            """
+            import os
+
+            def writer(fd):
+                return os.fdopen(fd, "w")
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R004"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R005 — JSON boundary
+# --------------------------------------------------------------------------- #
+class TestR005JsonBoundary:
+    def test_json_dumps_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import json
+
+            def render(doc):
+                return json.dumps(doc)
+            """,
+        )
+        assert "R005" in lint_codes(tmp_path, select=["R005"])
+
+    def test_json_loads_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import json
+
+            def parse(text):
+                return json.loads(text)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R005"]) == []
+
+    def test_serialization_boundary_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "store/fingerprint.py",
+            """
+            import json
+
+            def canonical_json(payload):
+                return json.dumps(payload, sort_keys=True)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R005"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R006 — registry completeness (project scope)
+# --------------------------------------------------------------------------- #
+class TestR006RegistryCompleteness:
+    def test_unregistered_baseline_entry_point_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "baselines/greedy.py",
+            """
+            def greedy_schedule(instance):
+                return instance
+            """,
+        )
+        assert "R006" in lint_codes(tmp_path, select=["R006"])
+
+    def test_registered_baseline_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "baselines/greedy.py",
+            """
+            from repro.api.registry import register_algorithm
+
+            def greedy_schedule(instance):
+                return instance
+
+            @register_algorithm("greedy")
+            def _greedy(instance, config):
+                return greedy_schedule(instance)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R006"]) == []
+
+    def test_online_registration_without_flag_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "online/policies.py",
+            """
+            from repro.api.registry import register_algorithm
+
+            @register_algorithm("online-wsjf")
+            def _wsjf(instance, config):
+                return instance
+            """,
+        )
+        assert "R006" in lint_codes(tmp_path, select=["R006"])
+
+    def test_online_registration_with_flag_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "online/policies.py",
+            """
+            from repro.api.registry import register_algorithm
+
+            @register_algorithm("online-wsjf", online=True)
+            def _wsjf(instance, config):
+                return instance
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R006"]) == []
+
+    def test_policies_module_without_registrations_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "online/policies.py",
+            """
+            def helper():
+                return 1
+            """,
+        )
+        assert "R006" in lint_codes(tmp_path, select=["R006"])
+
+
+# --------------------------------------------------------------------------- #
+# R007 — silent broad except
+# --------------------------------------------------------------------------- #
+class TestR007BroadExcept:
+    def test_except_exception_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def swallow(fn):
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """,
+        )
+        assert "R007" in lint_codes(tmp_path, select=["R007"])
+
+    def test_bare_except_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def swallow(fn):
+                try:
+                    return fn()
+                except:
+                    return None
+            """,
+        )
+        assert "R007" in lint_codes(tmp_path, select=["R007"])
+
+    def test_reraising_handler_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def annotate(fn, log):
+                try:
+                    return fn()
+                except Exception as exc:
+                    log.append(str(exc))
+                    raise
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R007"]) == []
+
+    def test_specific_exception_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except (OSError, ValueError):
+                    return None
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R007"]) == []
+
+
+# --------------------------------------------------------------------------- #
+# R008 — deprecated shims
+# --------------------------------------------------------------------------- #
+class TestR008DeprecatedShims:
+    def test_shim_import_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "experiments/runner.py",
+            """
+            from repro.core.scheduler import solve_coflow_schedule
+
+            def run(instance):
+                return solve_coflow_schedule(instance)
+            """,
+        )
+        assert "R008" in lint_codes(tmp_path, select=["R008"])
+
+    def test_shim_attribute_use_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "experiments/runner.py",
+            """
+            import repro.core.scheduler as scheduler
+
+            def run(instance):
+                return scheduler.solve_coflow_schedule(instance)
+            """,
+        )
+        assert "R008" in lint_codes(tmp_path, select=["R008"])
+
+    def test_package_init_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "__init__.py",
+            """
+            from repro.core.scheduler import solve_coflow_schedule
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R008"]) == []
+
+    def test_api_use_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "experiments/runner.py",
+            """
+            from repro.api import solve
+
+            def run(instance):
+                return solve(instance, "lp-heuristic")
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R008"]) == []
+
+
+def test_every_builtin_rule_has_an_injection_test():
+    """Guard: adding a rule without a catchability fixture fails here."""
+    tested = {
+        "R001",
+        "R002",
+        "R003",
+        "R004",
+        "R005",
+        "R006",
+        "R007",
+        "R008",
+    }
+    assert set(BUILTIN_RULES) == tested

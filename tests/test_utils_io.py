@@ -1,0 +1,113 @@
+"""Tests for repro.utils.io (atomic writes) and repro.utils.timing stamps."""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.utils.io import (
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+    normalize_json,
+)
+from repro.utils.timing import file_stamp, report_stamp
+
+
+class TestNormalizeJson:
+    def test_numpy_scalars_become_plain(self):
+        out = normalize_json(
+            {"i": np.int64(3), "f": np.float64(1.5), "b": np.bool_(True)}
+        )
+        assert out == {"i": 3, "f": 1.5, "b": True}
+        assert type(out["i"]) is int
+        assert type(out["f"]) is float
+        assert type(out["b"]) is bool
+
+    def test_arrays_become_nested_lists(self):
+        out = normalize_json(np.arange(6).reshape(2, 3))
+        assert out == [[0, 1, 2], [3, 4, 5]]
+        assert type(out[0][0]) is int
+
+    def test_tuples_become_lists_recursively(self):
+        assert normalize_json((1, (2, np.float32(0.5)))) == [1, [2, 0.5]]
+
+    def test_numpy_mapping_keys_are_normalized(self):
+        out = normalize_json({np.int64(7): "x"})
+        assert out == {7: "x"}
+        assert all(not isinstance(k, np.integer) for k in out)
+
+    def test_identity_on_plain_documents(self):
+        doc = {"a": [1, 2.5, "s", None, True], "b": {"c": []}}
+        assert normalize_json(doc) == doc
+
+    def test_json_dump_roundtrip_of_numpy_payload(self):
+        payload = {"values": np.linspace(0, 1, 3), "count": np.int32(3)}
+        text = json.dumps(normalize_json(payload))
+        assert json.loads(text) == {"values": [0.0, 0.5, 1.0], "count": 3}
+
+
+class TestAtomicWriter:
+    def test_writes_and_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_writer(target) as handle:
+            handle.write("complete")
+        assert target.read_text() == "complete"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "original")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("interrupted")
+        assert target.read_text() == "original"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_failure_on_fresh_target_leaves_nothing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(target) as handle:
+                handle.write("partial")
+                raise RuntimeError("interrupted")
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_atomic_write_json_normalizes_numpy(self, tmp_path):
+        target = tmp_path / "doc.json"
+        returned = atomic_write_json(
+            target, {"x": np.float64(2.0), "v": np.array([1, 2])}
+        )
+        assert returned == target
+        assert json.loads(target.read_text()) == {"x": 2.0, "v": [1, 2]}
+
+    def test_atomic_write_json_sort_keys(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, sort_keys=True)
+        text = target.read_text()
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_newline_passthrough_for_csv_writers(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        with atomic_writer(target, newline="") as handle:
+            handle.write("a,b\r\n")
+        assert target.read_bytes() == b"a,b\r\n"
+
+
+class TestStamps:
+    def test_report_stamp_is_isoformat_seconds(self):
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}", report_stamp()
+        )
+
+    def test_file_stamp_is_filename_safe(self):
+        stamp = file_stamp()
+        assert re.fullmatch(r"\d{8}-\d{6}", stamp)
+        assert ":" not in stamp
