@@ -28,6 +28,17 @@ A sweep is described by a :class:`SweepSpec` (JSON-serializable, so the
 ``repro sweep`` CLI takes a spec file) and addressed by a stable
 ``sweep_id`` fingerprint; progress is mirrored into a human-readable
 manifest under ``<store>/sweeps/<sweep_id>/``.
+
+Failure discipline: every solve attempt runs under the bounded,
+deterministically jittered retry policy of :mod:`repro.utils.retry`
+(retry delays derive from the unit's *address*, like its seed, so they
+too are layout-independent).  A unit that still fails after the policy's
+budget becomes a ``failed`` unit: the sweep records the exception under
+``runs/failures/<key>.json`` (poison-unit quarantine) and keeps going —
+one pathological LP can mark a sweep incomplete, but can never wedge it.
+A later successful solve of the same unit clears its record.  The
+multi-worker execution mode built on these same chunks lives in
+:mod:`repro.fabric`.
 """
 
 from __future__ import annotations
@@ -36,11 +47,12 @@ import dataclasses
 import json
 import logging
 import time
+import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import SolverConfig, solve
 from repro.api.algorithms import BUILTIN_ALGORITHMS
@@ -59,7 +71,9 @@ from repro.store import (
     text_key,
 )
 from repro.utils.io import atomic_write_json
+from repro.utils.retry import SOLVER_FAILURES, Backoff, retry_call
 from repro.utils.rng import derive_seed
+from repro.utils.timing import report_stamp
 from repro.workloads.generator import WorkloadSpec, generate_instance
 
 logger = logging.getLogger(__name__)
@@ -261,7 +275,7 @@ class SweepUnit:
     epsilon: Optional[float]
     rng_seed: Optional[int]
     key: str
-    status: str = "pending"  # pending | hit | solved
+    status: str = "pending"  # pending | hit | solved | failed
     objective: Optional[float] = None
 
     def describe(self) -> Dict:
@@ -355,47 +369,125 @@ def shard_units(units: Sequence[SweepUnit], num_shards: int) -> List[List[SweepU
 # --------------------------------------------------------------------------- #
 # chunk execution
 # --------------------------------------------------------------------------- #
-def _run_instance_group(
-    task: Tuple[CoflowInstance, List[Tuple[str, str, SolverConfig]], bool],
-) -> List[Tuple[str, Dict]]:
-    """Worker: solve one instance's units, sharing one uniform-grid LP.
+def _failure_record(key: str, algorithm: str, exc: BaseException, attempts: int) -> Dict:
+    """The ``runs/failures/`` quarantine record for a poison unit.
 
-    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
-    it.  Mirrors :func:`repro.api.batch._solve_instance_batch`: one shared
-    LP for every ``uses_shared_lp`` algorithm, everything under one
-    warm-start cache — but each unit carries its *own* config (its derived
-    seed), and the shared solution is handed *only* to ``uses_shared_lp``
-    algorithms.  Both choices serve the same invariant: a unit's inputs
-    (and therefore its stored bytes) depend on its address alone, never on
-    which other units happen to share its chunk or group.  This is also why
+    Stamps and tracebacks live here, outside the content-addressed object
+    space, so recording a failure never perturbs the byte-identity of
+    results.
+    """
+    return {
+        "schema": SWEEP_SCHEMA,
+        "key": key,
+        "algorithm": algorithm,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "attempts": attempts,
+        "traceback": traceback.format_exc(),
+        "created": report_stamp(),
+    }
+
+
+def _solve_unit_tasks(
+    instance: CoflowInstance,
+    unit_tasks: List[Tuple[str, str, SolverConfig]],
+    share_lp: bool,
+    backoff: Optional[Backoff],
+    chaos=None,
+    on_unit: Optional[Callable[[str], None]] = None,
+) -> List[Tuple[str, Optional[Dict], Optional[Dict]]]:
+    """Solve one instance's units, sharing one uniform-grid LP.
+
+    Mirrors :func:`repro.api.batch._solve_instance_batch`: one shared LP
+    for every ``uses_shared_lp`` algorithm, everything under one warm-start
+    cache — but each unit carries its *own* config (its derived seed), and
+    the shared solution is handed *only* to ``uses_shared_lp`` algorithms.
+    Both choices serve the same invariant: a unit's inputs (and therefore
+    its stored bytes) depend on its address alone, never on which other
+    units happen to share its chunk or group.  This is also why
     ``online=True`` units never receive the shared clairvoyant LP here
     (their stored ``lower_bound`` is ``None``), although ``solve_many``
     attaches it: whether a group happens to contain a shared-LP consumer
     changes across resumes, and a bound that appears or disappears with
     group composition would break byte-identical resume.
+
+    Every attempt runs under *backoff* (the default policy when ``None``);
+    transient :data:`SOLVER_FAILURES` are retried with delays derived from
+    the unit's address.  Each element of the returned list is
+    ``(key, payload, failure)`` with exactly one of payload/failure set.
+    If the shared LP itself fails terminally, its consumers fall back to
+    solving their own LP (same grid, same deterministic solver, same
+    bytes) rather than failing wholesale.  *chaos* is an optional
+    :class:`repro.fabric.chaos.ChaosInjector` (duck-typed here to keep
+    this module free of fabric imports); *on_unit* is called with each
+    unit's key as it resolves — the fabric worker's heartbeat hook.
     """
-    instance, unit_tasks, share_lp = task
-    results: List[Tuple[str, Dict]] = []
+    policy = backoff if backoff is not None else Backoff()
+    results: List[Tuple[str, Optional[Dict], Optional[Dict]]] = []
     with solver_cache():
         shared = None
         if share_lp and any(
             get_algorithm(algorithm).uses_shared_lp
             for _, algorithm, _ in unit_tasks
         ):
-            first_cfg = unit_tasks[0][2]
-            shared = solve_time_indexed_lp(
-                instance,
-                grid=first_cfg.grid,
-                num_slots=first_cfg.num_slots,
-                slot_length=first_cfg.slot_length,
-                epsilon=first_cfg.epsilon,
-                solver_method=first_cfg.solver_method,
-            )
+            first_key, _, first_cfg = unit_tasks[0]
+
+            def shared_attempt(attempt: int):
+                return solve_time_indexed_lp(
+                    instance,
+                    grid=first_cfg.grid,
+                    num_slots=first_cfg.num_slots,
+                    slot_length=first_cfg.slot_length,
+                    epsilon=first_cfg.epsilon,
+                    solver_method=first_cfg.solver_method,
+                )
+
+            try:
+                shared = retry_call(
+                    shared_attempt,
+                    backoff=policy,
+                    path=("sweep-shared-lp", first_key),
+                )
+            except SOLVER_FAILURES:
+                shared = None  # consumers fall back to their own LP below
         for key, algorithm, cfg in unit_tasks:
-            lp = shared if get_algorithm(algorithm).uses_shared_lp else None
-            report = solve(instance, algorithm, config=cfg, lp_solution=lp)
-            results.append((key, report_to_dict(report)))
+
+            def unit_attempt(
+                attempt: int, key=key, algorithm=algorithm, cfg=cfg
+            ) -> Dict:
+                if chaos is not None:
+                    chaos.before_solve(key, attempt)
+                lp = shared if get_algorithm(algorithm).uses_shared_lp else None
+                report = solve(instance, algorithm, config=cfg, lp_solution=lp)
+                return report_to_dict(report)
+
+            try:
+                payload = retry_call(
+                    unit_attempt, backoff=policy, path=("sweep-unit", key)
+                )
+                results.append((key, payload, None))
+            except SOLVER_FAILURES as exc:
+                results.append(
+                    (key, None, _failure_record(key, algorithm, exc, policy.retries + 1))
+                )
+            if on_unit is not None:
+                on_unit(key)
     return results
+
+
+def _run_instance_group(
+    task: Tuple[
+        CoflowInstance, List[Tuple[str, str, SolverConfig]], bool, Optional[Backoff], object
+    ],
+) -> List[Tuple[str, Optional[Dict], Optional[Dict]]]:
+    """Pool worker: unpack one task tuple for :func:`_solve_unit_tasks`.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it; the backoff policy and chaos injector ride along in the task tuple
+    (both are plain dataclasses, so they pickle).
+    """
+    instance, unit_tasks, share_lp, backoff, chaos = task
+    return _solve_unit_tasks(instance, unit_tasks, share_lp, backoff, chaos)
 
 
 @dataclass
@@ -409,13 +501,14 @@ class SweepResult:
     hits: int = 0
     solved: int = 0
     pending: int = 0
+    failed: int = 0
     chunks_total: int = 0
     chunks_run: int = 0
     seconds: float = 0.0
 
     @property
     def complete(self) -> bool:
-        return self.pending == 0
+        return self.pending == 0 and self.failed == 0
 
     def summary(self) -> Dict:
         return {
@@ -426,6 +519,7 @@ class SweepResult:
             "hits": self.hits,
             "solved": self.solved,
             "pending": self.pending,
+            "failed": self.failed,
             "chunks_total": self.chunks_total,
             "chunks_run": self.chunks_run,
             "complete": self.complete,
@@ -440,6 +534,8 @@ def run_sweep(
     parallel: Optional[int] = None,
     max_chunks: Optional[int] = None,
     num_shards: Optional[int] = None,
+    backoff: Optional[Backoff] = None,
+    chaos=None,
 ) -> SweepResult:
     """Run (or resume) *spec* against *store*.
 
@@ -461,6 +557,14 @@ def run_sweep(
         Override ``spec.num_shards`` without changing the sweep identity
         (sharding never affects results, so it is not part of the spec
         fingerprint either way).
+    backoff:
+        Retry policy for transient solver failures (default
+        :class:`~repro.utils.retry.Backoff`); units still failing after
+        its budget are quarantined as failure records, not raised.
+    chaos:
+        Optional :class:`repro.fabric.chaos.ChaosInjector` threading fault
+        injection through solve attempts and store writes (tests and the
+        CI chaos smoke; ``None`` in production use).
     """
     started = time.perf_counter()
     for algorithm in spec.algorithms:
@@ -531,6 +635,8 @@ def run_sweep(
                     for unit in group
                 ],
                 True,
+                backoff,
+                chaos,
             )
             for (instance_index, epsilon), group in groups.items()
         ]
@@ -541,26 +647,40 @@ def run_sweep(
         else:
             grouped = [_run_instance_group(task) for task in tasks]
 
-        solved_payloads = {
-            key: payload for group in grouped for key, payload in group
+        outcomes = {
+            key: (payload, failure)
+            for group in grouped
+            for key, payload, failure in group
         }
         # Chunk checkpoint: persist every unit of the completed chunk, then
         # the manifest.  A kill before this line loses only this chunk.
+        chunk_failed = 0
         for unit in missing:
-            payload = solved_payloads[unit.key]
+            payload, failure = outcomes[unit.key]
+            if failure is not None:
+                store.put_failure(unit.key, failure)
+                unit.status = "failed"
+                result.failed += 1
+                chunk_failed += 1
+                continue
             store.put(unit.key, payload, kind="solve-report")
+            store.clear_failure(unit.key)
+            if chaos is not None:
+                chaos.after_store(store.object_path(unit.key), unit.key)
             unit.status = "solved"
             unit.objective = payload.get("objective")
             result.reports[unit.key] = payload
             result.solved += 1
-        chunk_states[chunk_index] = "complete"
+        chunk_states[chunk_index] = "failed" if chunk_failed else "complete"
         _checkpoint_manifest(store, sweep_id, spec, chunk_states, result)
         logger.info(
-            "sweep %s: chunk %d/%d complete (%d solved)",
+            "sweep %s: chunk %d/%d %s (%d solved, %d failed)",
             spec.name,
             chunk_index + 1,
             len(chunks),
-            len(missing),
+            chunk_states[chunk_index],
+            len(missing) - chunk_failed,
+            chunk_failed,
         )
 
     result.chunks_run = executed
@@ -599,6 +719,11 @@ def sweep_status(spec: SweepSpec, store: ResultStore) -> Dict:
     instances = [ispec.build() for ispec in spec.instances]
     units = enumerate_units(spec, instances)
     stored = sum(1 for unit in units if store.contains(unit.key))
+    failed = sum(
+        1
+        for unit in units
+        if not store.contains(unit.key) and store.get_failure(unit.key) is not None
+    )
     manifest = store.get_manifest(spec.sweep_id())
     return {
         "sweep": spec.name,
@@ -606,6 +731,8 @@ def sweep_status(spec: SweepSpec, store: ResultStore) -> Dict:
         "units": len(units),
         "stored": stored,
         "pending": len(units) - stored,
+        "failed": failed,
+        "quarantined": len(store.quarantined()),
         "complete": stored == len(units),
         "manifest_chunks": (manifest or {}).get("chunks"),
     }

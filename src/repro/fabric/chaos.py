@@ -1,0 +1,240 @@
+"""Deterministic fault injection for the sweep fabric.
+
+Every recovery path the fabric promises — crash detection via expired
+leases, claim arbitration, bounded retries, poison-unit quarantine,
+corruption healing — is only as real as the test that forces it.  This
+module injects the faults:
+
+``kill-worker:after=K[,worker=ID]``
+    The worker dies (``os._exit(137)``, no cleanup — the in-process
+    equivalent of ``SIGKILL``) immediately after *claiming* its next chunk
+    once it has completed ``K`` chunks, leaving a dangling lease for the
+    survivors to expire and reclaim.
+
+``fail-solve:p=P[,seed=S][,worker=ID]``
+    A unit's solve attempt raises :class:`ChaosFault` (a ``RuntimeError``,
+    i.e. a member of :data:`~repro.utils.retry.SOLVER_FAILURES`) with
+    probability ``p`` — decided by a stream derived statelessly from
+    ``(seed, unit key, attempt)``, so a given attempt of a given unit
+    fails identically in every process (R001-clean: no raw entropy) and
+    retries genuinely re-roll.
+
+``stall-heartbeat[:worker=ID]``
+    The worker's heartbeats become no-ops, so its leases expire under it
+    while it keeps computing — the straggler/reclaim/benign-race path.
+
+``stall-solve:seconds=S[,worker=ID]``
+    Every solve attempt first sleeps ``S`` seconds (through the sanctioned
+    :meth:`~repro.utils.retry.Backoff.sleep`), pinning the worker mid-chunk
+    so a test can kill it there deterministically.
+
+``corrupt-store:p=P[,seed=S][,worker=ID]``
+    After a unit's entry lands in the store, the entry file is truncated
+    with probability ``p`` (same stateless derivation) — forcing the next
+    reader through the quarantine-and-recompute path.
+
+Faults compose with ``;``:``"kill-worker:after=1,worker=w0;fail-solve:p=0.3"``.
+A fault with a ``worker=`` filter applies only to that worker id, so one
+member of a fleet can be the designated victim.  The spec travels to
+spawned workers through the ``REPRO_CHAOS`` environment variable.
+
+Chaos decides *whether* an attempt fails, *who* dies and *which* bytes rot
+— never what a unit computes.  The acceptance criterion of the fabric is
+exactly that: under every fault schedule the completed result set is
+byte-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.utils.retry import Backoff
+from repro.utils.rng import derive_rng
+
+#: Environment variable carrying a chaos spec into worker processes.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Fault names and the parameters each accepts.
+_FAULTS: Dict[str, Tuple[str, ...]] = {
+    "kill-worker": ("after", "worker"),
+    "fail-solve": ("p", "seed", "worker"),
+    "stall-heartbeat": ("worker",),
+    "stall-solve": ("seconds", "worker"),
+    "corrupt-store": ("p", "seed", "worker"),
+}
+
+#: Exit status of a chaos-killed worker (mirrors 128 + SIGKILL).
+KILLED_EXIT_CODE = 137
+
+
+class ChaosFault(RuntimeError):
+    """The injected transient solve failure (member of SOLVER_FAILURES)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One parsed fault: its name and normalized parameters."""
+
+    name: str
+    after: int = 0
+    p: float = 0.0
+    seed: int = 0
+    seconds: float = 0.0
+    worker: Optional[str] = None
+
+    def applies_to(self, worker_id: Optional[str]) -> bool:
+        """Whether this fault targets the given worker (``None`` = any)."""
+        return self.worker is None or self.worker == worker_id
+
+    def render(self) -> str:
+        parts = []
+        if self.name == "kill-worker":
+            parts.append(f"after={self.after}")
+        elif self.name in ("fail-solve", "corrupt-store"):
+            parts.append(f"p={self.p:g}")
+            parts.append(f"seed={self.seed}")
+        elif self.name == "stall-solve":
+            parts.append(f"seconds={self.seconds:g}")
+        if self.worker is not None:
+            parts.append(f"worker={self.worker}")
+        return self.name + (":" + ",".join(parts) if parts else "")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A parsed ``--chaos`` specification (a tuple of faults)."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> "ChaosSpec":
+        """Parse ``"name:k=v,...;name2:..."`` into a spec (fail-fast)."""
+        if not text or not text.strip():
+            return cls(())
+        faults = []
+        for chunk in text.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            name, _, params_text = chunk.partition(":")
+            name = name.strip()
+            if name not in _FAULTS:
+                raise ValueError(
+                    f"unknown chaos fault {name!r}; known faults: "
+                    + ", ".join(sorted(_FAULTS))
+                )
+            params: Dict[str, str] = {}
+            if params_text.strip():
+                for pair in params_text.split(","):
+                    key, sep, value = pair.partition("=")
+                    key = key.strip()
+                    if not sep or key not in _FAULTS[name]:
+                        raise ValueError(
+                            f"bad parameter {pair.strip()!r} for chaos fault "
+                            f"{name!r}; expected {'/'.join(_FAULTS[name])}=value"
+                        )
+                    params[key] = value.strip()
+            fault = Fault(
+                name=name,
+                after=int(params.get("after", 0)),
+                p=float(params.get("p", 0.0)),
+                seed=int(params.get("seed", 0)),
+                seconds=float(params.get("seconds", 0.0)),
+                worker=params.get("worker"),
+            )
+            if fault.name in ("fail-solve", "corrupt-store") and not (
+                0.0 <= fault.p <= 1.0
+            ):
+                raise ValueError(f"chaos probability must be in [0, 1], got {fault.p}")
+            faults.append(fault)
+        return cls(tuple(faults))
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> "ChaosSpec":
+        """The spec carried by ``REPRO_CHAOS`` (empty spec when unset)."""
+        env = environ if environ is not None else os.environ
+        return cls.parse(env.get(CHAOS_ENV))
+
+    def render(self) -> str:
+        """The canonical spec string (round-trips through :meth:`parse`)."""
+        return ";".join(fault.render() for fault in self.faults)
+
+
+@dataclass
+class ChaosInjector:
+    """Applies a :class:`ChaosSpec` at the fabric's injection points.
+
+    One injector per worker (or per in-process sweep, with
+    ``worker_id=None``); the sweep and worker loops call the hooks below
+    at the documented moments.  An injector built from an empty spec is
+    inert, so callers never need to branch on "chaos enabled".
+    """
+
+    spec: ChaosSpec = field(default_factory=ChaosSpec)
+    worker_id: Optional[str] = None
+
+    def _active(self, name: str):
+        for fault in self.spec.faults:
+            if fault.name == name and fault.applies_to(self.worker_id):
+                yield fault
+
+    # ------------------------------------------------------------------ #
+    # injection points
+    # ------------------------------------------------------------------ #
+    def on_claim(self, chunks_completed: int) -> None:
+        """Called right after a chunk claim; may kill the worker.
+
+        Dying *after* the claim (not after the completed chunk) leaves the
+        freshly claimed lease dangling — the crash shape the reclaim
+        protocol exists for.
+        """
+        for fault in self._active("kill-worker"):
+            if chunks_completed >= fault.after:
+                os._exit(KILLED_EXIT_CODE)
+
+    def before_solve(self, key: str, attempt: int) -> None:
+        """Called before each solve attempt; may stall, then may raise."""
+        for fault in self._active("stall-solve"):
+            if fault.seconds > 0:
+                stall = Backoff(
+                    retries=0, base=fault.seconds, factor=1.0, jitter=0.0
+                )
+                stall.sleep(0)
+        for fault in self._active("fail-solve"):
+            u = float(
+                derive_rng(fault.seed, "chaos", "fail-solve", key, attempt).random()
+            )
+            if u < fault.p:
+                raise ChaosFault(
+                    f"injected solve failure (unit {key[:12]}, attempt {attempt})"
+                )
+
+    def allow_heartbeat(self) -> bool:
+        """Whether heartbeats go through (``False`` under stall-heartbeat)."""
+        return not any(True for _ in self._active("stall-heartbeat"))
+
+    def after_store(self, path: Path, key: str) -> bool:
+        """Called after a unit's entry landed at *path*; may corrupt it.
+
+        Returns ``True`` when the entry was corrupted (tests count these).
+        Truncation is in-place and non-atomic on purpose: it models the
+        torn write the store's quarantine path exists to absorb.
+        """
+        for fault in self._active("corrupt-store"):
+            u = float(derive_rng(fault.seed, "chaos", "corrupt-store", key).random())
+            if u < fault.p:
+                try:
+                    # The torn write is the point here: this fault must
+                    # bypass the atomic-write discipline to model it.
+                    with path.open("r+") as handle:  # repro-lint: allow[R004]
+                        handle.truncate(16)
+                except OSError:
+                    return False
+                return True
+        return False

@@ -1,0 +1,259 @@
+"""Lease-based chunk claims for multi-worker sweeps on shared storage.
+
+The coordination substrate is the filesystem the :class:`~repro.store.
+ResultStore` already lives on — no daemon, no lock server.  One lease file
+per chunk lives under ``<store>/sweeps/<sweep_id>/leases/chunk-<n>.json``
+and moves through three operations:
+
+``claim``
+    A **fresh** claim creates the lease file with an exclusive atomic link
+    (:func:`repro.utils.io.exclusive_write_json`): when two workers race,
+    the filesystem admits exactly one.  A **reclaim** (taking over a chunk
+    whose owner crashed — lease expired) bumps the lease's ``generation``
+    and lands via temp + ``os.replace``; because a replace can overwrite a
+    concurrent replace, every reclaimer *re-reads* the file afterwards and
+    applies one deterministic arbitration rule (:func:`arbitrate`): higher
+    generation wins, ties break to the lexicographically smaller worker
+    id.  All contenders read the same bytes and apply the same rule, so a
+    double-claim resolves identically everywhere — in the worst interleaving
+    two workers briefly compute the same chunk, which the content-addressed
+    store absorbs as counted benign races, never divergent results.
+
+``heartbeat``
+    The owner re-stamps the lease periodically (through
+    :func:`repro.utils.timing.wall_seconds`, the sanctioned coordination
+    clock).  A lease whose stamp is older than the TTL is *expired*: its
+    owner is presumed crashed and any worker may reclaim.  Heartbeating
+    re-verifies ownership, so a worker that lost its chunk finds out at
+    the next beat.
+
+``release``
+    Deleting the lease after the chunk's units are safely in the store.
+    A crash between store writes and release leaves a dangling lease on a
+    complete chunk — harmless, because progress is always measured against
+    the store's contents, never against leases.
+
+Who computes a chunk depends on the clock and the race; *what* the chunk
+computes never does (unit seeds are address-derived) — the Bobpp-style
+determinism contract the sweep orchestrator established.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.utils.io import atomic_write_json, exclusive_write_json
+from repro.utils.timing import report_stamp, wall_seconds
+
+LEASE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One chunk lease as read from disk."""
+
+    chunk: int
+    worker: str
+    generation: int
+    heartbeat: float  # wall_seconds() at the last renewal
+    created: str  # report_stamp() of the original claim
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": LEASE_SCHEMA,
+            "chunk": self.chunk,
+            "worker": self.worker,
+            "generation": self.generation,
+            "heartbeat": self.heartbeat,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        return cls(
+            chunk=int(data["chunk"]),
+            worker=str(data["worker"]),
+            generation=int(data["generation"]),
+            heartbeat=float(data["heartbeat"]),
+            created=str(data.get("created", "")),
+        )
+
+
+def arbitrate(a: Lease, b: Lease) -> Lease:
+    """The deterministic winner between two competing leases for one chunk.
+
+    Higher generation wins (a reclaim supersedes the claim it expired);
+    equal generations break to the lexicographically **smaller** worker
+    id.  Pure and total, so every worker that observes both candidates —
+    in any order, in any process — names the same winner.
+    """
+    if a.generation != b.generation:
+        return a if a.generation > b.generation else b
+    return a if a.worker <= b.worker else b
+
+
+class LeaseManager:
+    """Claims, renews and releases chunk leases for one worker.
+
+    Parameters
+    ----------
+    root:
+        The store root (the directory a :class:`~repro.store.ResultStore`
+        was opened on).
+    sweep_id:
+        The sweep's stable fingerprint — leases live in that sweep's
+        directory, next to its manifest.
+    worker_id:
+        This worker's id.  Must be unique within a sweep; the launch
+        supervisor hands out ``w0..wN-1``.
+    ttl:
+        Seconds without a heartbeat after which a lease counts as expired
+        (its owner presumed crashed) and may be reclaimed.
+    """
+
+    def __init__(
+        self, root: str | Path, sweep_id: str, worker_id: str, *, ttl: float = 30.0
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        if not worker_id or "/" in worker_id:
+            raise ValueError(f"worker_id must be a non-empty name, got {worker_id!r}")
+        self.root = Path(root)
+        self.sweep_id = sweep_id
+        self.worker_id = worker_id
+        self.ttl = float(ttl)
+        self.directory = self.root / "sweeps" / sweep_id / "leases"
+
+    # ------------------------------------------------------------------ #
+    # reading
+    # ------------------------------------------------------------------ #
+    def path(self, chunk: int) -> Path:
+        return self.directory / f"chunk-{chunk:06d}.json"
+
+    def read(self, chunk: int) -> Optional[Lease]:
+        """The current lease on *chunk*, or ``None`` (absent or unreadable).
+
+        An unreadable lease (a half-written or foreign file) is treated as
+        absent: the chunk is claimable.  Worst case two workers briefly
+        share a chunk — benign, counted races.
+        """
+        try:
+            data = json.loads(self.path(chunk).read_text())
+            return Lease.from_dict(data)
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def expired(self, lease: Lease) -> bool:
+        """Whether *lease*'s owner has missed its heartbeat window."""
+        return wall_seconds() - lease.heartbeat > self.ttl
+
+    def active_leases(self) -> List[Tuple[int, Lease]]:
+        """Every readable lease on disk, sorted by chunk index."""
+        if not self.directory.is_dir():
+            return []
+        leases: List[Tuple[int, Lease]] = []
+        for path in sorted(self.directory.glob("chunk-*.json")):
+            try:
+                chunk = int(path.stem.removeprefix("chunk-"))
+            except ValueError:
+                continue
+            lease = self.read(chunk)
+            if lease is not None:
+                leases.append((chunk, lease))
+        return leases
+
+    # ------------------------------------------------------------------ #
+    # claiming
+    # ------------------------------------------------------------------ #
+    def _mine(self, chunk: int, generation: int) -> Lease:
+        return Lease(
+            chunk=chunk,
+            worker=self.worker_id,
+            generation=generation,
+            heartbeat=wall_seconds(),
+            created=report_stamp(),
+        )
+
+    def claim(self, chunk: int) -> bool:
+        """Try to take the lease on *chunk*; ``True`` iff this worker owns it.
+
+        Fresh chunks are claimed with an exclusive create (at most one
+        winner, guaranteed by the filesystem).  A chunk whose lease exists
+        but has expired is reclaimed at ``generation + 1``; concurrent
+        reclaims are settled by :func:`arbitrate` after a read-back, so
+        the loser backs off deterministically.
+        """
+        current = self.read(chunk)
+        if current is None:
+            mine = self._mine(chunk, generation=0)
+            if exclusive_write_json(self.path(chunk), mine.to_dict()):
+                return True
+            # Lost the exclusive create; fall through to read the winner.
+            current = self.read(chunk)
+            if current is None:
+                return False  # unreadable competitor: do not fight it
+        if current.worker == self.worker_id:
+            # Re-entering our own lease (e.g. after a heartbeat refresh).
+            return True
+        if not self.expired(current):
+            return False
+        return self._reclaim(chunk, current)
+
+    def _reclaim(self, chunk: int, stale: Lease) -> bool:
+        """Take over an expired lease; deterministic on double-reclaim."""
+        mine = self._mine(chunk, generation=stale.generation + 1)
+        atomic_write_json(self.path(chunk), mine.to_dict())
+        landed = self.read(chunk)
+        if landed is None:
+            return False
+        if landed.worker == self.worker_id and landed.generation == mine.generation:
+            return True
+        # A competing reclaim replaced ours (or raced it): both of us read
+        # the same file now, and arbitrate() names one winner.  If that
+        # winner is us, rewrite once — the competitor applies the same rule
+        # to the same bytes and backs off.
+        winner = arbitrate(mine, landed)
+        if winner.worker == self.worker_id:
+            atomic_write_json(self.path(chunk), mine.to_dict())
+            confirmed = self.read(chunk)
+            return confirmed is not None and confirmed.worker == self.worker_id
+        return False
+
+    # ------------------------------------------------------------------ #
+    # renewing / releasing
+    # ------------------------------------------------------------------ #
+    def heartbeat(self, chunk: int) -> bool:
+        """Re-stamp our lease on *chunk*; ``False`` if ownership was lost.
+
+        Losing ownership (a competitor reclaimed after our lease expired
+        under a stall) is not an error — the worker may finish the chunk
+        anyway and its writes land as counted benign races — but the
+        caller learns about it here.
+        """
+        current = self.read(chunk)
+        if current is None or current.worker != self.worker_id:
+            return False
+        renewed = Lease(
+            chunk=chunk,
+            worker=self.worker_id,
+            generation=current.generation,
+            heartbeat=wall_seconds(),
+            created=current.created,
+        )
+        atomic_write_json(self.path(chunk), renewed.to_dict())
+        confirmed = self.read(chunk)
+        return confirmed is not None and confirmed.worker == self.worker_id
+
+    def release(self, chunk: int) -> None:
+        """Drop our lease on *chunk* (no-op if already lost or gone)."""
+        current = self.read(chunk)
+        if current is None or current.worker != self.worker_id:
+            return
+        try:
+            os.unlink(self.path(chunk))
+        except OSError:
+            pass

@@ -541,6 +541,49 @@ def check_deprecated_shims(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
+# --------------------------------------------------------------------------- #
+# R009 — no bare sleep / ad-hoc retry
+# --------------------------------------------------------------------------- #
+@register_rule(
+    "R009",
+    "no-bare-sleep",
+    description=(
+        "time.sleep is banned outside the sanctioned retry/backoff module "
+        "(utils/retry.py); pauses go through Backoff.sleep"
+    ),
+    rationale=(
+        "PR 7: the sweep fabric's recovery guarantees depend on every "
+        "delay being bounded, enumerable and deterministically jittered; "
+        "an ad-hoc sleep is an unbounded, unseeded wait the chaos harness "
+        "cannot reason about"
+    ),
+    allowed_paths=("utils/retry.py",),
+)
+def check_bare_sleep(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qual = ctx.imports.qualify(node.func)
+        if qual in ("time.sleep", "asyncio.sleep"):
+            yield ctx.finding(
+                node,
+                "R009",
+                f"bare sleep '{qual}'; route delays through "
+                "repro.utils.retry.Backoff.sleep so they are bounded and "
+                "deterministic",
+            )
+
+
 #: Importing this module registers every built-in rule; the tuple is the
 #: stable public catalogue (mirrors scenarios.families' registration style).
-BUILTIN_RULES = ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008")
+BUILTIN_RULES = (
+    "R001",
+    "R002",
+    "R003",
+    "R004",
+    "R005",
+    "R006",
+    "R007",
+    "R008",
+    "R009",
+)

@@ -31,6 +31,7 @@ from repro.lp.solver import solver_cache
 from repro.store import ResultStore, config_fingerprint, text_key
 from repro.store.fingerprint import FingerprintError
 from repro.utils.io import atomic_write_json
+from repro.utils.retry import SOLVER_FAILURES, Backoff, retry_call
 from repro.utils.timing import file_stamp, report_stamp
 
 from repro.scenarios import families as _families  # noqa: F401 - registers built-ins
@@ -48,23 +49,16 @@ SCHEMA_VERSION = 1
 #: to exercise the multi-draw paths, small enough for a budget-50 nightly.
 VERIFY_NUM_SAMPLES = 3
 
-#: What counts as an algorithm/LP *crash* during scenario execution: the
-#: failure modes a solver or baseline can plausibly raise.  Recorded in
-#: ``ScenarioRun.errors`` (the crash invariant reports them) instead of
-#: aborting the whole verification run.  Deliberately a tuple, not a broad
-#: ``except Exception`` — a ``KeyboardInterrupt``, assertion failure or
-#: typo-level ``NameError`` must still abort.
-SOLVER_FAILURES = (
-    ValueError,
-    TypeError,
-    KeyError,
-    IndexError,
-    ArithmeticError,
-    RuntimeError,
-    NotImplementedError,
-    MemoryError,
-    OSError,
-)
+# What counts as an algorithm/LP *crash* during scenario execution: the
+# canonical SOLVER_FAILURES tuple now lives in repro.utils.retry (shared
+# with the sweep's failure discipline) and is re-exported above because
+# this module was its original home.
+
+#: Retry policy for scenario execution: transient solver failures get two
+#: deterministic re-attempts before being recorded as crashes.  Zero base
+#: delay — verification failures are almost never time-dependent, so the
+#: value of the policy is the re-attempt, not the wait.
+VERIFY_BACKOFF = Backoff(retries=2, base=0.0, jitter=0.0)
 
 
 def execute_scenario(
@@ -101,22 +95,31 @@ def execute_scenario(
     )
 
     run = ScenarioRun(scenario=scenario, config=cfg, lp_solution=None)
+    address = (scenario.family, str(scenario.index), str(scenario.root_seed))
     with solver_cache():
         try:
-            run.lp_solution = solve_time_indexed_lp(
-                instance,
-                grid=cfg.grid,
-                num_slots=cfg.num_slots,
-                slot_length=cfg.slot_length,
-                epsilon=cfg.epsilon,
-                solver_method=cfg.solver_method,
+            run.lp_solution = retry_call(
+                lambda attempt: solve_time_indexed_lp(
+                    instance,
+                    grid=cfg.grid,
+                    num_slots=cfg.num_slots,
+                    slot_length=cfg.slot_length,
+                    epsilon=cfg.epsilon,
+                    solver_method=cfg.solver_method,
+                ),
+                backoff=VERIFY_BACKOFF,
+                path=("verify-shared-lp", *address),
             )
         except SOLVER_FAILURES as exc:
             run.errors["shared-lp"] = f"{type(exc).__name__}: {exc}"
         for name in names:
             try:
-                run.reports[name] = solve(
-                    instance, name, config=cfg, lp_solution=run.lp_solution
+                run.reports[name] = retry_call(
+                    lambda attempt, name=name: solve(
+                        instance, name, config=cfg, lp_solution=run.lp_solution
+                    ),
+                    backoff=VERIFY_BACKOFF,
+                    path=("verify-solve", name, *address),
                 )
             except SOLVER_FAILURES as exc:
                 run.errors[name] = f"{type(exc).__name__}: {exc}"

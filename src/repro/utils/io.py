@@ -107,6 +107,38 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     return path
 
 
+def exclusive_write_json(path: str | Path, payload: object) -> bool:
+    """Atomically create *path* with *payload* iff it does not already exist.
+
+    The claim primitive under the sweep fabric's lease protocol: the
+    payload is written completely to a temp file in the destination
+    directory, then ``os.link``-ed to *path* — link fails with
+    ``FileExistsError`` if another process claimed first, so exactly one
+    contender wins and the file is never observable half-written.
+
+    Returns ``True`` if this call created the file, ``False`` if it
+    already existed (the caller lost the claim race).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(normalize_json(payload), handle, indent=2)
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        return True
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
 def atomic_write_json(
     path: str | Path,
     payload: object,

@@ -306,3 +306,82 @@ class TestReviewRegressions:
         assert main(
             ["sweep", str(path), "--store", str(tmp_path / "s"), "--status"]
         ) == 2
+
+
+class TestFailureDiscipline:
+    """Poison units are quarantined as failure records, never raised."""
+
+    def _chaos(self, p="1.0", seed=5):
+        from repro.fabric import ChaosInjector, ChaosSpec
+
+        return ChaosInjector(spec=ChaosSpec.parse(f"fail-solve:p={p},seed={seed}"))
+
+    def test_terminal_failures_are_quarantined_not_raised(self, tmp_path):
+        from repro.utils.retry import Backoff
+
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store")
+        result = run_sweep(
+            spec,
+            store,
+            backoff=Backoff(retries=1, base=0.0),
+            chaos=self._chaos(),
+        )
+        assert not result.complete
+        assert result.failed == len(result.units)
+        assert result.summary()["failed"] == len(result.units)
+        assert all(u.status == "failed" for u in result.units)
+        assert sorted(store.failure_keys()) == sorted(u.key for u in result.units)
+        record = store.get_failure(result.units[0].key)
+        assert record["error"] == "ChaosFault"
+        assert record["attempts"] == 2  # retries=1 -> two attempts
+        assert record["key"] == result.units[0].key
+        assert "traceback" in record
+        # Failed chunks are named in the manifest, not hidden.
+        manifest = store.get_manifest(spec.sweep_id())
+        assert set(manifest["chunks"]) == {"failed"}
+
+    def test_failed_units_are_retried_on_rerun_and_cleared(self, tmp_path):
+        from repro.utils.retry import Backoff
+
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store")
+        run_sweep(
+            spec,
+            store,
+            backoff=Backoff(retries=0, base=0.0),
+            chaos=self._chaos(),
+        )
+        assert store.failure_keys()  # quarantined
+        # Records are history, not a blacklist: a plain re-run retries
+        # the units, succeeds, and clears every record.
+        healed = run_sweep(spec, store)
+        assert healed.complete
+        assert healed.solved == len(healed.units)
+        assert store.failure_keys() == []
+        status = sweep_status(spec, store)
+        assert status["failed"] == 0 and status["complete"]
+
+    def test_transient_failures_are_absorbed_by_retries(self, tmp_path):
+        from repro.utils.retry import Backoff
+
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "store")
+        # p=0.5: with three attempts per unit, units whose first draws
+        # fail usually recover on a retry — and which ones is a pure
+        # function of (seed, key, attempt), so this test is deterministic.
+        result = run_sweep(
+            spec,
+            store,
+            backoff=Backoff(retries=2, base=0.0),
+            chaos=self._chaos(p="0.5", seed=11),
+        )
+        assert result.solved + result.failed == len(result.units)
+        assert result.solved > 0  # retries actually rescued units
+        rerun = run_sweep(
+            spec,
+            ResultStore(tmp_path / "store"),
+            backoff=Backoff(retries=2, base=0.0),
+            chaos=self._chaos(p="0.5", seed=11),
+        )
+        assert rerun.failed == result.failed  # same fates on a re-run

@@ -1,0 +1,154 @@
+"""The lease protocol: claims, expiry, reclaim arbitration, heartbeats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.fabric.leases import Lease, LeaseManager, arbitrate
+
+
+def manager(tmp_path, worker, **kwargs):
+    kwargs.setdefault("ttl", 30.0)
+    return LeaseManager(tmp_path / "store", "sweep-abc", worker, **kwargs)
+
+
+class TestArbitrate:
+    def test_higher_generation_wins(self):
+        a = Lease(chunk=0, worker="wz", generation=2, heartbeat=0.0, created="")
+        b = Lease(chunk=0, worker="wa", generation=1, heartbeat=0.0, created="")
+        assert arbitrate(a, b) is a
+        assert arbitrate(b, a) is a  # order-independent
+
+    def test_ties_break_to_smaller_worker_id(self):
+        a = Lease(chunk=0, worker="w1", generation=1, heartbeat=0.0, created="")
+        b = Lease(chunk=0, worker="w0", generation=1, heartbeat=0.0, created="")
+        assert arbitrate(a, b).worker == "w0"
+        assert arbitrate(b, a).worker == "w0"
+
+
+class TestClaim:
+    def test_fresh_claim_is_exclusive(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        bob = manager(tmp_path, "bob")
+        assert alice.claim(0)
+        assert not bob.claim(0)
+        assert alice.read(0).worker == "alice"
+
+    def test_own_claim_is_reentrant(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        assert alice.claim(0)
+        assert alice.claim(0)
+
+    def test_unreadable_lease_is_claimable(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        alice.directory.mkdir(parents=True, exist_ok=True)
+        alice.path(0).write_text("{ torn write")
+        assert alice.read(0) is None
+        # A torn lease never blocks the sweep: the reclaim path (not the
+        # exclusive create, which the existing file defeats) takes over.
+        assert alice.claim(0) or alice.read(0) is None
+
+    def test_chunks_are_independent(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        bob = manager(tmp_path, "bob")
+        assert alice.claim(0)
+        assert bob.claim(1)
+
+
+class TestExpiryAndReclaim:
+    def test_expired_lease_is_reclaimed_with_generation_bump(self, tmp_path):
+        alice = manager(tmp_path, "alice", ttl=0.001)
+        bob = manager(tmp_path, "bob", ttl=0.001)
+        assert alice.claim(0)
+        # Backdate the heartbeat far past any TTL instead of sleeping.
+        stale = alice.read(0)
+        alice.path(0).write_text(
+            json.dumps({**stale.to_dict(), "heartbeat": stale.heartbeat - 3600.0})
+        )
+        lease = bob.read(0)
+        assert bob.expired(lease)
+        assert bob.claim(0)
+        taken = bob.read(0)
+        assert taken.worker == "bob"
+        assert taken.generation == stale.generation + 1
+
+    def test_unexpired_lease_is_not_reclaimed(self, tmp_path):
+        alice = manager(tmp_path, "alice", ttl=3600.0)
+        bob = manager(tmp_path, "bob", ttl=3600.0)
+        assert alice.claim(0)
+        assert not bob.claim(0)
+
+    def test_double_reclaim_resolves_deterministically(self, tmp_path):
+        """Simulate the worst interleaving: both reclaimers' writes land.
+
+        Bob reclaims the dead worker's chunk; then his own lease is
+        backdated (a stalled reclaimer) and Alice reclaims over him.  Her
+        generation supersedes his, and both sides — reading the same
+        bytes, applying the same :func:`arbitrate` rule — agree on the
+        winner.
+        """
+        alice = manager(tmp_path, "alice", ttl=3600.0)
+        bob = manager(tmp_path, "bob", ttl=3600.0)
+        dead = manager(tmp_path, "dead", ttl=3600.0)
+
+        def backdate(mgr, chunk):
+            lease = mgr.read(chunk)
+            mgr.path(chunk).write_text(
+                json.dumps({**lease.to_dict(), "heartbeat": lease.heartbeat - 7200.0})
+            )
+
+        assert dead.claim(0)
+        backdate(dead, 0)
+        assert bob.claim(0)
+        assert bob.read(0).generation == 1
+        backdate(bob, 0)
+        assert alice.claim(0)
+        assert alice.read(0) == bob.read(0)  # same bytes on both sides
+        assert alice.read(0).worker == "alice"
+        assert alice.read(0).generation == 2
+        # Bob rechecking ownership discovers the loss at heartbeat time.
+        assert not bob.heartbeat(0)
+
+    def test_loser_backs_off_after_arbitration(self, tmp_path):
+        zeb = manager(tmp_path, "zeb", ttl=3600.0)
+        amy = manager(tmp_path, "amy", ttl=3600.0)
+        dead = manager(tmp_path, "dead", ttl=3600.0)
+        assert dead.claim(3)
+        stale = dead.read(3)
+        dead.path(3).write_text(
+            json.dumps({**stale.to_dict(), "heartbeat": stale.heartbeat - 3600.0})
+        )
+        assert amy.claim(3)  # amy reclaims first and holds a live lease
+        assert not zeb.claim(3)  # zeb sees an unexpired competitor
+        assert amy.read(3).worker == "amy"
+
+
+class TestHeartbeatAndRelease:
+    def test_heartbeat_restamps_own_lease(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        assert alice.claim(0)
+        before = alice.read(0).heartbeat
+        assert alice.heartbeat(0)
+        assert alice.read(0).heartbeat >= before
+
+    def test_heartbeat_detects_lost_ownership(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        bob = manager(tmp_path, "bob")
+        assert alice.claim(0)
+        assert not bob.heartbeat(0)
+
+    def test_release_is_owner_only(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        bob = manager(tmp_path, "bob")
+        assert alice.claim(0)
+        bob.release(0)  # not bob's lease: must be a no-op
+        assert alice.read(0).worker == "alice"
+        alice.release(0)
+        assert alice.read(0) is None
+        alice.release(0)  # idempotent
+
+    def test_active_leases_lists_sorted_chunks(self, tmp_path):
+        alice = manager(tmp_path, "alice")
+        for chunk in (5, 1, 3):
+            assert alice.claim(chunk)
+        assert [c for c, _ in alice.active_leases()] == [1, 3, 5]

@@ -529,6 +529,76 @@ class TestR008DeprecatedShims:
         assert lint_codes(tmp_path, select=["R008"]) == []
 
 
+# --------------------------------------------------------------------------- #
+# R009 — bare sleep / ad-hoc retry
+# --------------------------------------------------------------------------- #
+class TestR009BareSleep:
+    def test_time_sleep_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "fabric/poller.py",
+            """
+            import time
+
+            def poll():
+                time.sleep(0.5)
+            """,
+        )
+        assert "R009" in lint_codes(tmp_path, select=["R009"])
+
+    def test_from_import_sleep_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            from time import sleep
+
+            def wait():
+                sleep(1)
+            """,
+        )
+        assert "R009" in lint_codes(tmp_path, select=["R009"])
+
+    def test_asyncio_sleep_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import asyncio
+
+            async def wait():
+                await asyncio.sleep(2)
+            """,
+        )
+        assert "R009" in lint_codes(tmp_path, select=["R009"])
+
+    def test_sanctioned_retry_module_is_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "utils/retry.py",
+            """
+            import time
+
+            def _pause(seconds):
+                time.sleep(seconds)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R009"]) == []
+
+    def test_backoff_sleep_passes(self, tmp_path):
+        write_module(
+            tmp_path,
+            "fabric/worker.py",
+            """
+            from repro.utils.retry import Backoff
+
+            def poll(poller: Backoff):
+                poller.sleep(0)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R009"]) == []
+
+
 def test_every_builtin_rule_has_an_injection_test():
     """Guard: adding a rule without a catchability fixture fails here."""
     tested = {
@@ -540,5 +610,6 @@ def test_every_builtin_rule_has_an_injection_test():
         "R006",
         "R007",
         "R008",
+        "R009",
     }
     assert set(BUILTIN_RULES) == tested

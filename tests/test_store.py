@@ -166,7 +166,7 @@ class TestResultStore:
         assert store.get(key) is None
         assert store.corrupted == 1
         assert not path.exists()
-        assert path.with_suffix(".corrupt").exists()
+        assert len(store.quarantined()) == 1
         # The slot is writable again and behaves normally afterwards.
         store.put(key, {"x": 4})
         assert store.get(key) == {"x": 4}
@@ -292,6 +292,97 @@ class TestCanonicalBytes:
         assert canonical_payload_bytes({"a": 1, "b": 2}) == canonical_payload_bytes(
             {"b": 2, "a": 1}
         )
+
+
+class TestRaceHonestPut:
+    """put() reports whether the write landed first; losers are counted."""
+
+    def test_first_write_lands(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "ab" + "3" * 30
+        assert store.put(key, {"x": 1}) is True
+        assert store.writes == 1 and store.races == 0
+
+    def test_second_writer_loses_and_is_counted(self, tmp_path):
+        key = "cd" + "3" * 30
+        winner = ResultStore(tmp_path / "s")
+        loser = ResultStore(tmp_path / "s")
+        assert winner.put(key, {"x": 1}) is True
+        assert loser.put(key, {"x": 2}) is False
+        assert loser.races == 1 and loser.writes == 0
+        # First write wins: the stored bytes never flap.
+        assert winner.get(key) == {"x": 1}
+        assert loser.stats()["races"] == 1
+
+    def test_corrupt_occupant_is_replaced_not_a_race(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "ef" + "3" * 30
+        path = store.object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ torn")
+        assert store.put(key, {"x": 3}) is True
+        assert store.races == 0 and store.corrupted == 1
+        assert store.get(key) == {"x": 3}
+
+    def test_reset_counters_zeroes_races(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "ab" + "4" * 30
+        store.put(key, {"x": 1})
+        store.put(key, {"x": 2})
+        assert store.races == 1
+        store.reset_counters()
+        assert store.races == 0
+
+
+class TestQuarantine:
+    def test_repeated_quarantines_never_clobber(self, tmp_path):
+        """Each quarantine gets a unique name; evidence accumulates."""
+        store = ResultStore(tmp_path / "s")
+        key = "ab" + "5" * 30
+        for round_ in range(3):
+            store.put(key, {"round": round_})
+            store.object_path(key).write_text("{ torn garbage")
+            assert store.get(key) is None
+        assert store.corrupted == 3
+        assert len(store.quarantined()) == 3
+        assert len({p.name for p in store.quarantined()}) == 3
+
+    def test_quarantined_files_are_not_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "cd" + "5" * 30
+        store.put(key, {"x": 1})
+        store.object_path(key).write_text("{ torn")
+        store.get(key)
+        assert store.keys() == []  # the .corrupt-* file is not an object
+        assert store.stats()["quarantined"] == 1
+
+
+class TestFailureRecords:
+    def test_round_trip_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "ab" + "6" * 30
+        assert store.get_failure(key) is None
+        store.put_failure(key, {"error": "RuntimeError", "key": key})
+        assert store.get_failure(key)["error"] == "RuntimeError"
+        assert store.failure_keys() == [key]
+        assert store.stats()["failures"] == 1
+        store.clear_failure(key)
+        assert store.get_failure(key) is None
+        assert store.failure_keys() == []
+        store.clear_failure(key)  # idempotent
+
+    def test_latest_failure_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "cd" + "6" * 30
+        store.put_failure(key, {"attempt": 1})
+        store.put_failure(key, {"attempt": 2})
+        assert store.get_failure(key) == {"attempt": 2}
+        assert store.failure_keys() == [key]
+
+    def test_short_key_is_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ValueError):
+            store.failure_path("ab")
 
 
 class TestContainsValidates:

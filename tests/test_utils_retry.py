@@ -1,0 +1,105 @@
+"""The failure-discipline layer: Backoff schedules and retry_call."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.retry import SOLVER_FAILURES, Backoff, retry_call
+
+
+class TestBackoff:
+    def test_delay_grows_and_truncates(self):
+        policy = Backoff(retries=5, base=1.0, factor=2.0, max_delay=3.0, jitter=0.0)
+        assert policy.delay(0) == 1.0
+        assert policy.delay(1) == 2.0
+        assert policy.delay(2) == 3.0  # capped
+        assert policy.delay(5) == 3.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = Backoff(retries=3, base=1.0, factor=1.0, jitter=0.5, seed=9)
+        delays = [policy.delay(a, "unit-key") for a in range(4)]
+        again = [policy.delay(a, "unit-key") for a in range(4)]
+        assert delays == again  # same address -> same jitter, any process
+        assert all(0.5 <= d <= 1.5 for d in delays)
+
+    def test_jitter_desynchronizes_paths(self):
+        policy = Backoff(base=1.0, jitter=0.5, seed=0)
+        assert policy.delay(0, "unit-a") != policy.delay(0, "unit-b")
+
+    def test_zero_base_never_sleeps(self):
+        policy = Backoff(base=0.0, jitter=0.0)
+        assert policy.delay(3) == 0.0
+        assert policy.sleep(3) == 0.0
+
+    def test_invalid_policies_are_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(retries=-1)
+        with pytest.raises(ValueError):
+            Backoff(base=-0.1)
+        with pytest.raises(ValueError):
+            Backoff(factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(jitter=1.0)
+
+
+class TestRetryCall:
+    def test_success_is_immediate(self):
+        calls = []
+        result = retry_call(lambda attempt: calls.append(attempt) or "ok")
+        assert result == "ok"
+        assert calls == [0]
+
+    def test_transient_failure_is_retried(self):
+        def flaky(attempt):
+            if attempt < 2:
+                raise RuntimeError("transient")
+            return attempt
+
+        policy = Backoff(retries=2, base=0.0)
+        assert retry_call(flaky, backoff=policy) == 2
+
+    def test_budget_exhaustion_reraises_last(self):
+        def always(attempt):
+            raise ValueError(f"attempt {attempt}")
+
+        with pytest.raises(ValueError, match="attempt 1"):
+            retry_call(always, backoff=Backoff(retries=1, base=0.0))
+
+    def test_non_solver_failures_propagate_immediately(self):
+        calls = []
+
+        def bad(attempt):
+            calls.append(attempt)
+            raise NameError("typo-level bug")
+
+        with pytest.raises(NameError):
+            retry_call(bad, backoff=Backoff(retries=3, base=0.0))
+        assert calls == [0]  # never retried
+
+    def test_on_retry_observer_sees_each_failure(self):
+        seen = []
+
+        def flaky(attempt):
+            if attempt == 0:
+                raise KeyError("once")
+            return "done"
+
+        retry_call(
+            flaky,
+            backoff=Backoff(retries=2, base=0.0),
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(0, KeyError)]
+
+    def test_custom_exception_selection(self):
+        def fails(attempt):
+            raise OSError("io")
+
+        # OSError is in SOLVER_FAILURES but excluded here -> no retry.
+        assert OSError in SOLVER_FAILURES
+        with pytest.raises(OSError):
+            retry_call(
+                fails,
+                exceptions=(ValueError,),
+                backoff=Backoff(retries=5, base=0.0),
+            )
