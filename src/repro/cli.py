@@ -1,6 +1,6 @@
 """Command-line interface: ``repro <command>`` (or ``python -m repro``).
 
-Eleven commands cover the common workflows without writing any Python:
+Twelve commands cover the common workflows without writing any Python:
 
 ``topologies``
     List the built-in WAN topologies with their sizes.
@@ -39,6 +39,11 @@ Eleven commands cover the common workflows without writing any Python:
     Run an online scheduling policy (:mod:`repro.online`) over a trace or
     a scenario address, event by event, and compare it against the
     clairvoyant offline schedule.
+``scenarios``
+    The corpus tooling (:mod:`repro.scenarios`): run a declarative
+    pipeline spec (generate → solve → verify → report, resumable through
+    the result store), list the registered families, amplify a trace to
+    N× coflows, or convert a public Facebook-format coflow trace.
 ``lint``
     Run the AST-based determinism & discipline analyzer (:mod:`repro.lint`)
     over the library source: raw entropy, wall-clock reads, float ``==``,
@@ -319,6 +324,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also solve the clairvoyant offline problem and report the "
         "competitive ratio",
+    )
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="scenario-corpus tooling: pipelines, amplifier, trace converter",
+    )
+    scen_sub = scen.add_subparsers(dest="scenarios_command", required=True)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="execute a declarative pipeline spec (YAML or JSON)"
+    )
+    scen_run.add_argument("spec", help="pipeline spec file (see repro.scenarios.pipeline)")
+    scen_run.add_argument(
+        "--store",
+        default=None,
+        help="result-store directory: checkpoint per-scenario blocks so "
+        "interrupted pipelines resume and repeated runs replay for free",
+    )
+    scen_run.add_argument(
+        "--output",
+        default=None,
+        help="write the deterministic pipeline report to this JSON path",
+    )
+
+    scen_sub.add_parser("list", help="list the registered scenario families")
+
+    scen_amp = scen_sub.add_parser(
+        "amplify", help="amplify a trace to N coflows (marginal-preserving)"
+    )
+    scen_amp.add_argument("src", help="base trace JSON (any repro trace kind)")
+    scen_amp.add_argument("out", help="amplified trace JSON to write")
+    scen_amp.add_argument("count", type=int, help="target number of coflows")
+    scen_amp.add_argument("--seed", type=int, default=0, help="amplifier root seed")
+    scen_amp.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the marginal-preservation guard (not recommended)",
+    )
+
+    scen_fb = scen_sub.add_parser(
+        "convert-fb", help="convert a Facebook-format coflow trace to JSON"
+    )
+    scen_fb.add_argument("src", help="Facebook-format text trace")
+    scen_fb.add_argument("out", help="JSON trace to write")
+    scen_fb.add_argument(
+        "--demand-scale", type=float, default=1.0, help="size multiplier (trace is MB)"
+    )
+    scen_fb.add_argument(
+        "--time-scale",
+        type=float,
+        default=1e-3,
+        help="arrival-stamp multiplier (trace is ms; default converts to s)",
+    )
+    scen_fb.add_argument(
+        "--max-coflows",
+        type=int,
+        default=None,
+        help="truncate the corpus after this many coflows",
     )
 
     lint = sub.add_parser(
@@ -823,6 +886,87 @@ def _cmd_online(args, out) -> int:
     return 0
 
 
+def _cmd_scenarios(args, out) -> int:
+    if args.scenarios_command == "list":
+        from repro.scenarios import family_table
+
+        for family in family_table():
+            print(f"{family.name:<20s} {family.description}", file=out)
+        return 0
+    if args.scenarios_command == "amplify":
+        from repro.scenarios.amplify import amplify_trace
+
+        try:
+            summary = amplify_trace(
+                args.src,
+                args.out,
+                args.count,
+                root_seed=args.seed,
+                check=not args.no_check,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"amplified {summary['base_coflows']} -> {summary['num_coflows']} "
+            f"coflows ({summary['num_flows']} flows, seed {summary['root_seed']}) "
+            f"to {summary['out']}",
+            file=out,
+        )
+        for key, value in sorted(summary["marginals"].items()):
+            print(f"  {key:<22s} {value:.6f}", file=out)
+        return 0
+    if args.scenarios_command == "convert-fb":
+        from repro.workloads.fbtrace import convert_facebook_trace
+
+        try:
+            summary = convert_facebook_trace(
+                args.src,
+                args.out,
+                demand_scale=args.demand_scale,
+                time_scale=args.time_scale,
+                max_coflows=args.max_coflows,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"converted {summary['num_coflows']} coflows / "
+            f"{summary['num_flows']} flows "
+            f"(horizon {summary['max_release_time']:.3f}) to {summary['out']}",
+            file=out,
+        )
+        return 0
+    # args.scenarios_command == "run"
+    from repro.scenarios.pipeline import (
+        PipelineSpec,
+        format_pipeline_report,
+        run_pipeline,
+        write_pipeline_report,
+    )
+
+    try:
+        spec = PipelineSpec.load(args.spec)
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: could not load pipeline spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    store = None
+    if args.store:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    try:
+        result = run_pipeline(spec, store=store)
+    except ValueError as exc:  # unknown family/invariant/algorithm
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_pipeline_report(result), file=out)
+    if args.output:
+        path = write_pipeline_report(result, args.output)
+        print(f"wrote {path}", file=out)
+    return 0 if result.ok else 1
+
+
 def _cmd_lint(args, out) -> int:
     from repro.lint import (
         format_result,
@@ -880,6 +1024,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_sweep(args, out)
     if args.command == "online":
         return _cmd_online(args, out)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args, out)
     if args.command == "lint":
         return _cmd_lint(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,229 @@
+"""Capacity churn: scheduled mid-run changes of edge capacity.
+
+Production networks are not static: links degrade when a physical member of
+a LAG fails, go fully down during maintenance or fiber cuts, and come back
+later.  A :class:`ChurnSchedule` describes such a timeline declaratively —
+a sorted sequence of :class:`ChurnEvent`\\ s, each setting one edge's
+capacity to ``factor × base capacity`` from its event time onward (``0.0``
+models a full outage, ``1.0`` a restore, values above ``1.0`` an upgrade).
+
+The schedule is deliberately *not* part of :class:`~repro.network.graph.
+NetworkGraph` state: graphs stay immutable-once-scheduling-starts (the rate
+allocator caches per-instance state keyed on that assumption).  Instead the
+simulators accept a schedule alongside the instance and query
+:meth:`ChurnSchedule.capacity_vector_at` per event — see
+:func:`repro.sim.simulator.simulate_priority_schedule`.
+
+Schedules serialize to plain JSON (:meth:`to_dict` / :meth:`from_dict`) so
+scenario families can record them in their params and the
+``feasibility-under-churn`` invariant can rebuild them from a verification
+report alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.graph import Edge, NetworkGraph
+
+#: Event-boundary tolerance, matching the simulator's release-time epsilon:
+#: an event at time *t* is in force for every query at ``>= t - 1e-12``.
+TIME_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One capacity change: from *time* on, *edge* runs at *factor* × base.
+
+    ``factor`` is absolute with respect to the graph's base capacity, not
+    relative to the previous event — replaying a schedule prefix therefore
+    never depends on event ordering beyond "latest event ≤ t wins".
+    """
+
+    time: float
+    edge: Edge
+    factor: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(
+            self, "edge", (str(self.edge[0]), str(self.edge[1]))
+        )
+        object.__setattr__(self, "factor", float(self.factor))
+        if not np.isfinite(self.time) or self.time < 0.0:
+            raise ValueError(
+                f"churn event time must be finite and non-negative, got {self.time}"
+            )
+        if not np.isfinite(self.factor) or self.factor < 0.0:
+            raise ValueError(
+                f"churn capacity factor must be finite and >= 0, got {self.factor}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (scenario params, pipeline specs)."""
+        return {
+            "time": self.time,
+            "edge": [self.edge[0], self.edge[1]],
+            "factor": self.factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnEvent":
+        """Inverse of :meth:`to_dict`."""
+        edge = data["edge"]
+        return cls(
+            time=float(data["time"]),
+            edge=(str(edge[0]), str(edge[1])),
+            factor=float(data["factor"]),
+        )
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """A sorted, validated timeline of :class:`ChurnEvent`\\ s.
+
+    Events are stored sorted by ``(time, edge)``; two events on the same
+    edge at the same time would be ambiguous and are rejected.  Before the
+    first event touching an edge, the edge runs at its base capacity
+    (factor 1.0).
+    """
+
+    events: Tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(
+            ev if isinstance(ev, ChurnEvent) else ChurnEvent(**ev)
+            for ev in self.events
+        )
+        events = tuple(sorted(events, key=lambda ev: (ev.time, ev.edge)))
+        seen: set = set()
+        for ev in events:
+            key = (ev.time, ev.edge)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate churn event for edge {ev.edge!r} at time "
+                    f"{ev.time} (one factor per edge per instant)"
+                )
+            seen.add(key)
+        object.__setattr__(self, "events", events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------ #
+    # queries (what the simulators call)
+    # ------------------------------------------------------------------ #
+    @property
+    def event_times(self) -> Tuple[float, ...]:
+        """Distinct event times, sorted ascending."""
+        return tuple(sorted({ev.time for ev in self.events}))
+
+    def validate_for(self, graph: NetworkGraph) -> None:
+        """Raise ``ValueError`` unless every event edge exists on *graph*."""
+        for ev in self.events:
+            if not graph.has_edge(*ev.edge):
+                raise ValueError(
+                    f"churn event references unknown edge {ev.edge!r} on "
+                    f"graph {graph.name!r}"
+                )
+
+    def factors_at(self, time: float) -> Dict[Edge, float]:
+        """Per-edge capacity factor in force at *time* (latest event wins)."""
+        factors: Dict[Edge, float] = {}
+        for ev in self.events:  # sorted by time: later events overwrite
+            if ev.time <= time + TIME_TOL:
+                factors[ev.edge] = ev.factor
+        return factors
+
+    def capacity_vector_at(self, graph: NetworkGraph, time: float) -> np.ndarray:
+        """The edge-capacity vector of *graph* with churn applied at *time*.
+
+        Aligned with ``graph.edge_index()`` like
+        :meth:`NetworkGraph.capacity_vector`; never negative (factors are
+        validated ``>= 0`` at construction).
+        """
+        capacity = graph.capacity_vector()
+        if not self.events:
+            return capacity
+        index = graph.edge_index()
+        base = capacity.copy()
+        for ev in self.events:
+            position = index.get(ev.edge)
+            if position is None:
+                raise ValueError(
+                    f"churn event references unknown edge {ev.edge!r} on "
+                    f"graph {graph.name!r}"
+                )
+            if ev.time <= time + TIME_TOL:
+                capacity[position] = base[position] * ev.factor
+        return capacity
+
+    def next_event_after(self, time: float) -> Optional[float]:
+        """Earliest event time strictly after *time*, or ``None``."""
+        future = [ev.time for ev in self.events if ev.time > time + TIME_TOL]
+        return min(future) if future else None
+
+    def min_positive_factor(self) -> float:
+        """Smallest non-zero factor in the schedule (1.0 when none are set).
+
+        Used by the simulators to stretch their auto-derived ``max_time``
+        safety cap: a link running at factor *f* serves the same demand a
+        factor of ``1/f`` slower.
+        """
+        positive = [ev.factor for ev in self.events if ev.factor > TIME_TOL]
+        candidates = positive + [1.0]
+        return float(min(candidates))
+
+    def horizon(self, base_bound: float) -> float:
+        """A serial-completion upper bound under this schedule.
+
+        After the last event the capacities are static, so the plain bound
+        (stretched by the worst sustained degradation) applies from there.
+        """
+        last = max((ev.time for ev in self.events), default=0.0)
+        return float(last + base_bound / self.min_positive_factor())
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (scenario params, pipeline specs)."""
+        return {"events": [ev.to_dict() for ev in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChurnSchedule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=tuple(ChurnEvent.from_dict(ev) for ev in data.get("events", ()))
+        )
+
+    @classmethod
+    def from_events(
+        cls, events: Sequence[Tuple[float, Edge, float]]
+    ) -> "ChurnSchedule":
+        """Build a schedule from ``(time, edge, factor)`` triples."""
+        return cls(
+            events=tuple(
+                ChurnEvent(time=t, edge=e, factor=f) for t, e, f in events
+            )
+        )
+
+
+def link_outage(
+    edge: Edge, down_at: float, up_at: float
+) -> List[ChurnEvent]:
+    """The two events of a full outage window on *edge* (down, then restore)."""
+    if up_at <= down_at:
+        raise ValueError(
+            f"outage must restore after it starts: down at {down_at}, up at {up_at}"
+        )
+    return [
+        ChurnEvent(time=down_at, edge=edge, factor=0.0),
+        ChurnEvent(time=up_at, edge=edge, factor=1.0),
+    ]

@@ -1,19 +1,23 @@
 """Built-in scenario families.
 
 Importing this module populates the registry of
-:mod:`repro.scenarios.engine` with the six families the verification
+:mod:`repro.scenarios.engine` with the ten families the verification
 harness samples by default:
 
-==================  =========================================================
-name                what it stresses
-==================  =========================================================
-``online-poisson``  online operation: memoryless (Poisson) coflow arrivals
-``bursty-arrivals`` synchronized bursts — many coflows released at once
-``zipf-sizes``      heavy-tailed (Zipf) flow sizes: elephants among mice
-``oversubscribed``  fat-tree fabrics whose core carries 1/k of host demand
-``link-failure``    degraded-capacity WAN variants (partial link failures)
-``trace-replay``    the save → load → replay path of :mod:`repro.workloads.traces`
-==================  =========================================================
+=======================  ====================================================
+name                     what it stresses
+=======================  ====================================================
+``online-poisson``       online operation: memoryless (Poisson) coflow arrivals
+``bursty-arrivals``      synchronized bursts — many coflows released at once
+``zipf-sizes``           heavy-tailed (Zipf) flow sizes: elephants among mice
+``oversubscribed``       fat-tree fabrics whose core carries 1/k of host demand
+``link-failure``         degraded-capacity WAN variants (partial link failures)
+``trace-replay``         the save → load → replay path of :mod:`repro.workloads.traces`
+``capacity-churn``       mid-run capacity churn (degrade / outage / restore)
+``hardness-gadget``      Section 5 open-shop reductions: worst-case LP gaps
+``adversarial-arrival``  geometric arrival bursts engineered against SRTF
+``amplified-trace``      the trace amplifier path (bootstrap + replay)
+=======================  ====================================================
 
 Every family alternates the transmission model with the scenario index,
 and the families are split into two phase groups (see ``MODEL_OFFSET``):
@@ -36,6 +40,7 @@ import numpy as np
 from repro.coflow.coflow import Coflow
 from repro.coflow.flow import Flow
 from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.churn import ChurnSchedule
 from repro.network.graph import NetworkGraph
 from repro.network.paths import pin_random_shortest_paths
 from repro.network.topologies import (
@@ -44,9 +49,15 @@ from repro.network.topologies import (
     gscale_topology,
     swan_topology,
 )
+from repro.openshop.instance import OpenShopInstance
+from repro.openshop.reduction import (
+    openshop_objective_bounds,
+    openshop_to_coflow_instance,
+)
 from repro.workloads.generator import WorkloadSpec, generate_coflows
-from repro.workloads.traces import replay_trace, save_trace
+from repro.workloads.traces import replay_coflows, replay_trace, save_trace
 
+from repro.scenarios.amplify import amplify_coflows, check_marginals
 from repro.scenarios.engine import register_family
 
 #: Builders keep instances deliberately small: every scenario is solved by
@@ -68,6 +79,10 @@ MODEL_OFFSET = {
     "oversubscribed": 1,
     "link-failure": 0,
     "trace-replay": 1,
+    "capacity-churn": 0,
+    "hardness-gadget": 1,
+    "adversarial-arrival": 1,
+    "amplified-trace": 0,
 }
 
 
@@ -377,6 +392,174 @@ def _build_trace_replay(rng: np.random.Generator, index: int):
     return instance, params
 
 
+# --------------------------------------------------------------------------- #
+# mid-run capacity churn
+# --------------------------------------------------------------------------- #
+@register_family(
+    "capacity-churn",
+    description="SWAN with mid-run capacity churn: degrade, outage, restore",
+    tags=("topology", "churn", "dynamic"),
+)
+def _build_capacity_churn(rng: np.random.Generator, index: int):
+    model = expected_model("capacity-churn", index)
+    graph = swan_topology()
+    undirected = sorted({tuple(sorted(edge)) for edge in graph.edges})
+    num_churned = int(rng.integers(1, 3))
+    picks = rng.choice(len(undirected), size=num_churned, replace=False)
+    events = []
+    for p in picks:
+        u, v = undirected[int(p)]
+        down_at = float(np.round(rng.uniform(0.3, 1.5), 3))
+        up_at = float(np.round(down_at + rng.uniform(1.0, 3.0), 3))
+        # One in three churned links goes fully dark (factor 0), the rest
+        # degrade; every change is restored so instances stay feasible.
+        factor = 0.0 if rng.uniform() < 1.0 / 3.0 else float(
+            np.round(rng.uniform(0.3, 0.7), 3)
+        )
+        for edge in ((u, v), (v, u)):
+            events.append({"time": down_at, "edge": edge, "factor": factor})
+            events.append({"time": up_at, "edge": edge, "factor": 1.0})
+    schedule = ChurnSchedule(events=tuple(events))
+
+    num_coflows = int(rng.integers(3, MAX_COFLOWS + 1))
+    release = np.round(rng.uniform(0.0, 2.0, size=num_coflows), 3)
+    release[int(rng.integers(0, num_coflows))] = 0.0
+    coflows = _make_coflows(
+        rng,
+        graph.nodes,
+        num_coflows=num_coflows,
+        release_times=release,
+        demand_sampler=lambda k: rng.uniform(0.4, 2.0, size=k),
+        weighted=True,
+        label="churn",
+    )
+    params = {
+        "churn": schedule.to_dict(),
+        "num_churned_links": num_churned,
+        "num_coflows": num_coflows,
+    }
+    return _assemble(graph, coflows, model, rng, f"capacity-churn-{index}"), params
+
+
+# --------------------------------------------------------------------------- #
+# adversarial families
+# --------------------------------------------------------------------------- #
+@register_family(
+    "hardness-gadget",
+    description="Section 5 open-shop reduction instances (worst-case LP gaps)",
+    tags=("adversarial", "hardness", "openshop"),
+)
+def _build_hardness_gadget(rng: np.random.Generator, index: int):
+    model = expected_model("hardness-gadget", index)
+    num_machines = int(rng.integers(2, 4))
+    num_jobs = int(rng.integers(3, MAX_COFLOWS + 1))
+    shop = OpenShopInstance.random(
+        num_machines=num_machines,
+        num_jobs=num_jobs,
+        rng=rng,
+        max_processing=4.0,
+        density=0.8,
+        weighted=bool(rng.integers(0, 2)),
+    )
+    instance = openshop_to_coflow_instance(shop, model=model)
+    # Cheap combinatorial bounds on the open-shop side: the verify engine's
+    # gap metric reads these from the params to contextualize the LP gap.
+    shop_lower, shop_upper = openshop_objective_bounds(shop)
+    params = {
+        "num_machines": num_machines,
+        "num_jobs": num_jobs,
+        "openshop_lower": float(shop_lower),
+        "openshop_upper": float(shop_upper),
+    }
+    return instance, params
+
+
+@register_family(
+    "adversarial-arrival",
+    description="geometric arrival bursts engineered against SRTF-style policies",
+    tags=("adversarial", "online", "arrivals"),
+)
+def _build_adversarial_arrival(rng: np.random.Generator, index: int):
+    model = expected_model("adversarial-arrival", index)
+    graph = swan_topology()
+    num_coflows = int(rng.integers(4, MAX_COFLOWS + 1))
+    base = float(rng.uniform(1.5, 2.0))
+    epsilon = float(rng.uniform(0.01, 0.05))
+    # One heavy coflow at time zero, then light coflows arriving just after
+    # each geometric boundary base^k: an SRTF-style policy keeps preempting
+    # the elephant, which is exactly the worst case the LP bound exposes.
+    heavy = _make_coflows(
+        rng,
+        graph.nodes,
+        num_coflows=1,
+        release_times=np.zeros(1),
+        demand_sampler=lambda k: rng.uniform(3.0, 5.0, size=k),
+        weighted=False,
+        label="adv-heavy",
+    )
+    boundaries = np.array(
+        [base**k + epsilon for k in range(num_coflows - 1)], dtype=float
+    )
+    light = _make_coflows(
+        rng,
+        graph.nodes,
+        num_coflows=num_coflows - 1,
+        release_times=boundaries,
+        demand_sampler=lambda k: rng.uniform(0.1, 0.4, size=k),
+        weighted=False,
+        label="adv-light",
+    )
+    params = {
+        "num_coflows": num_coflows,
+        "base": base,
+        "epsilon": epsilon,
+    }
+    return (
+        _assemble(graph, heavy + light, model, rng, f"adversarial-arrival-{index}"),
+        params,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# amplified traces
+# --------------------------------------------------------------------------- #
+@register_family(
+    "amplified-trace",
+    description="bootstrap-amplified trace replayed on the SWAN WAN",
+    tags=("traces", "amplifier"),
+)
+def _build_amplified_trace(rng: np.random.Generator, index: int):
+    model = expected_model("amplified-trace", index)
+    graph = swan_topology()
+    base_count = 3
+    spec = WorkloadSpec(
+        profile="FB",
+        num_coflows=base_count,
+        weighted=True,
+        demand_scale=float(rng.uniform(0.8, 1.6)),
+    )
+    base = list(generate_coflows(graph, spec, rng))
+    amplify_seed = int(rng.integers(0, 2**63 - 1))
+    target = int(rng.integers(4, MAX_COFLOWS + 1))
+    amplified = amplify_coflows(base, target, root_seed=amplify_seed)
+    report = check_marginals(base, amplified)
+    instance = replay_coflows(
+        amplified,
+        graph,
+        model=model,
+        rng=rng,
+        name=f"amplified-trace-{index}",
+    )
+    params = {
+        "base_coflows": base_count,
+        "num_coflows": target,
+        "amplify_seed": amplify_seed,
+        "marginals_ok": bool(report.ok),
+        "marginals": {k: float(v) for k, v in report.stats.items()},
+    }
+    return instance, params
+
+
 #: Families registered by this module (the default sample set).
 BUILTIN_FAMILIES = (
     "online-poisson",
@@ -385,6 +568,10 @@ BUILTIN_FAMILIES = (
     "oversubscribed",
     "link-failure",
     "trace-replay",
+    "capacity-churn",
+    "hardness-gadget",
+    "adversarial-arrival",
+    "amplified-trace",
 )
 
 #: The arrival-driven families — the default sample set when specifically

@@ -1,0 +1,326 @@
+"""Declarative scenario pipelines: spec → generate → solve → verify → report.
+
+A pipeline spec is a small YAML or JSON document that names *which*
+scenarios to run (family selections with counts and start indices), *how*
+to solve them (an optional solver-config overlay and algorithm/invariant
+selections) and nothing else — adding a new corpus slice becomes a config
+change, not code::
+
+    name: nightly-corpus
+    root_seed: 2019
+    scenarios:
+      - {family: capacity-churn, count: 4}
+      - {family: hardness-gadget, count: 4, start_index: 2}
+      - {family: amplified-trace, count: 2}
+    algorithms: [heuristic, fifo]        # optional; default = all applicable
+    invariants: [feasibility-under-churn]  # optional; default = all
+    solver: {num_slots: 12}              # optional SolverConfig overlay
+
+:func:`run_pipeline` expands the selections into scenario addresses
+(``(root_seed, family, index)`` — the engine's stateless addressing, so any
+worker layout produces the same corpus), verifies each through
+:func:`repro.scenarios.verify.verify_scenario`, and assembles a
+**deterministic** report: volatile fields (wall-clock seconds, cache flags)
+are stripped, so a spec run twice — cold, then warm through a
+:class:`~repro.store.ResultStore` — produces byte-identical reports, with
+the warm run replaying every block from the store and issuing zero new LP
+solves.  The adversarial families' LP-bound-vs-policy gaps are aggregated
+into a per-family ``gap_metrics`` section.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.request import SolverConfig
+from repro.store import ResultStore
+from repro.utils.io import atomic_write_json
+
+from repro.scenarios.engine import Scenario, build_scenario
+from repro.scenarios.invariants import get_invariant
+from repro.scenarios.verify import verify_scenario
+
+PIPELINE_SCHEMA_VERSION = 1
+
+#: SolverConfig fields a spec may overlay.  Deliberately excludes ``rng``
+#: (a live generator would break block caching and bit-reproducibility —
+#: the per-scenario seed overlay in the verify layer is the sanctioned
+#: source of randomness) and ``grid`` (not JSON-representable).
+ALLOWED_SOLVER_KEYS = frozenset(
+    {"num_slots", "slot_length", "epsilon", "solver_method", "num_samples"}
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSelection:
+    """One corpus slice: *count* consecutive scenarios of one family."""
+
+    family: str
+    count: int = 1
+    start_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"selection count must be >= 1, got {self.count}")
+        if self.start_index < 0:
+            raise ValueError(
+                f"selection start_index must be >= 0, got {self.start_index}"
+            )
+
+    def indices(self) -> range:
+        return range(self.start_index, self.start_index + self.count)
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "count": self.count,
+            "start_index": self.start_index,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSelection":
+        unknown = set(data) - {"family", "count", "start_index"}
+        if unknown:
+            raise ValueError(
+                f"unknown scenario-selection keys: {sorted(unknown)}"
+            )
+        return cls(
+            family=str(data["family"]),
+            count=int(data.get("count", 1)),
+            start_index=int(data.get("start_index", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A parsed, validated pipeline document (see the module docstring)."""
+
+    name: str
+    root_seed: int = 0
+    scenarios: Tuple[ScenarioSelection, ...] = ()
+    algorithms: Optional[Tuple[str, ...]] = None
+    invariants: Optional[Tuple[str, ...]] = None
+    solver: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("a pipeline spec must select at least one scenario")
+        unknown = set(self.solver) - ALLOWED_SOLVER_KEYS
+        if unknown:
+            raise ValueError(
+                f"unsupported solver keys {sorted(unknown)}; allowed: "
+                f"{sorted(ALLOWED_SOLVER_KEYS)}"
+            )
+
+    def solver_config(self) -> Optional[SolverConfig]:
+        """The spec's solver overlay as a :class:`SolverConfig` (or ``None``)."""
+        if not self.solver:
+            return None
+        return SolverConfig(**self.solver)
+
+    def total_scenarios(self) -> int:
+        return sum(sel.count for sel in self.scenarios)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "root_seed": self.root_seed,
+            "scenarios": [sel.to_dict() for sel in self.scenarios],
+            "algorithms": list(self.algorithms) if self.algorithms else None,
+            "invariants": list(self.invariants) if self.invariants else None,
+            "solver": dict(self.solver),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineSpec":
+        unknown = set(data) - {
+            "name",
+            "root_seed",
+            "scenarios",
+            "algorithms",
+            "invariants",
+            "solver",
+        }
+        if unknown:
+            raise ValueError(f"unknown pipeline keys: {sorted(unknown)}")
+        algorithms = data.get("algorithms")
+        invariants = data.get("invariants")
+        return cls(
+            name=str(data.get("name", "pipeline")),
+            root_seed=int(data.get("root_seed", 0)),
+            scenarios=tuple(
+                ScenarioSelection.from_dict(sel) for sel in data.get("scenarios", ())
+            ),
+            algorithms=tuple(str(a) for a in algorithms) if algorithms else None,
+            invariants=tuple(str(i) for i in invariants) if invariants else None,
+            solver=dict(data.get("solver") or {}),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PipelineSpec":
+        """Parse a spec file — JSON always, YAML when PyYAML is available."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix in (".yaml", ".yml"):
+            try:
+                import yaml
+            except ImportError:
+                raise ValueError(
+                    f"{path} is YAML but PyYAML is not installed; use the "
+                    "JSON form of the spec instead"
+                ) from None
+            data = yaml.safe_load(text)
+        else:
+            data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(f"pipeline spec {path} must be a mapping")
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of :func:`run_pipeline`: the deterministic report + run stats."""
+
+    report: Dict
+    total_scenarios: int
+    cached_scenarios: int
+    violations: int
+
+    @property
+    def ok(self) -> bool:
+        return self.violations == 0
+
+
+def _strip_volatile(block: Dict) -> Dict:
+    """Drop wall-clock and cache-provenance fields from a scenario block.
+
+    What remains is a pure function of the scenario address and the config,
+    so cold and warm pipeline runs serialize to identical bytes.
+    """
+    stripped = {k: v for k, v in block.items() if k not in ("seconds", "cached")}
+    stripped["algorithms"] = {
+        name: {k: v for k, v in algo.items() if k != "solve_seconds"}
+        for name, algo in block.get("algorithms", {}).items()
+    }
+    return stripped
+
+
+def _gap_metrics(blocks: Sequence[Dict]) -> Dict:
+    """Aggregate per-algorithm LP gaps per family (the adversarial metric)."""
+    by_family: Dict[str, List[float]] = {}
+    for block in blocks:
+        family = block["scenario"]["family"]
+        gaps = [
+            float(algo["gap"])
+            for algo in block["algorithms"].values()
+            if algo.get("gap") is not None
+        ]
+        if gaps:
+            by_family.setdefault(family, []).extend(gaps)
+    per_family = {
+        family: {
+            "max_gap": max(gaps),
+            "mean_gap": sum(gaps) / len(gaps),
+            "samples": len(gaps),
+        }
+        for family, gaps in sorted(by_family.items())
+    }
+    worst = max(
+        (metrics["max_gap"] for metrics in per_family.values()), default=None
+    )
+    return {"per_family": per_family, "worst_gap": worst}
+
+
+def run_pipeline(
+    spec: PipelineSpec, *, store: Optional[ResultStore] = None
+) -> PipelineResult:
+    """Execute *spec*: generate → solve → verify → deterministic report.
+
+    With a *store*, finished scenario blocks are checkpointed so interrupted
+    runs resume and repeated runs replay entirely from the store; the
+    returned report is identical either way (see :func:`_strip_volatile`).
+    """
+    for name in spec.invariants or ():
+        get_invariant(name)  # fail fast on typos, before any solve
+    config = spec.solver_config()
+    scenarios: List[Scenario] = [
+        build_scenario(selection.family, index, spec.root_seed)
+        for selection in spec.scenarios
+        for index in selection.indices()
+    ]
+    blocks: List[Dict] = []
+    cached = 0
+    for scenario in scenarios:
+        block = verify_scenario(
+            scenario,
+            config=config,
+            algorithms=spec.algorithms,
+            invariants=spec.invariants,
+            store=store,
+        )
+        if block.get("cached"):
+            cached += 1
+        blocks.append(_strip_volatile(block))
+
+    violations = sum(len(b["violations"]) for b in blocks)
+    families_covered = sorted({b["scenario"]["family"] for b in blocks})
+    report = {
+        "schema": PIPELINE_SCHEMA_VERSION,
+        "pipeline": spec.to_dict(),
+        "scenarios": blocks,
+        "gap_metrics": _gap_metrics(blocks),
+        "summary": {
+            "scenarios": len(blocks),
+            "families_covered": families_covered,
+            "violations": violations,
+            "ok": violations == 0,
+        },
+    }
+    return PipelineResult(
+        report=report,
+        total_scenarios=len(blocks),
+        cached_scenarios=cached,
+        violations=violations,
+    )
+
+
+def write_pipeline_report(result: PipelineResult, path: str | Path) -> Path:
+    """Write the deterministic report as canonical JSON (sorted keys)."""
+    return atomic_write_json(Path(path), result.report, sort_keys=True)
+
+
+def format_pipeline_report(result: PipelineResult) -> str:
+    """Human-readable pipeline summary (what ``repro scenarios run`` prints)."""
+    report = result.report
+    spec = report["pipeline"]
+    lines = [
+        f"pipeline {spec['name']!r}: {result.total_scenarios} scenarios "
+        f"(root seed {spec['root_seed']}, families: "
+        f"{', '.join(report['summary']['families_covered'])})",
+        f"replayed {result.cached_scenarios}/{result.total_scenarios} "
+        "scenario blocks from store",
+    ]
+    for block in report["scenarios"]:
+        meta = block["scenario"]
+        label = f"{meta['family']}#{meta['index']}"
+        lines.append(
+            f"  {label:<26s} {meta['model']:<12s} "
+            f"algos={len(block['algorithms'])} "
+            f"violations={len(block['violations'])}"
+        )
+        for violation in block["violations"]:
+            lines.append(
+                f"      [{violation['kind']}/{violation['source']}] "
+                f"{violation['message']}"
+            )
+    worst = report["gap_metrics"]["worst_gap"]
+    if worst is not None:
+        lines.append(f"worst LP-bound gap across the corpus: {worst:.4f}")
+    verdict = "OK" if result.ok else "VIOLATIONS FOUND"
+    lines.append(
+        f"total violations: {result.violations} -> {verdict}"
+    )
+    return "\n".join(lines)

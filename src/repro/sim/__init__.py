@@ -21,6 +21,7 @@ from repro.sim.rate_allocation import (
 from repro.sim.simulator import (
     FlowState,
     SimulationResult,
+    TimelineEntry,
     simulate_priority_schedule,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "coflow_standalone_time",
     "FlowState",
     "SimulationResult",
+    "TimelineEntry",
     "simulate_priority_schedule",
 ]

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.coflow.instance import CoflowInstance, FlowRef, TransmissionModel
 from repro.lp.model import ConstraintSense, LinearProgram
+from repro.network.churn import ChurnSchedule
 from repro.lp.solver import solve_lp
 from repro.sim.rate_allocation import RATE_TOL, RateAllocation
 from repro.sim.simulator import (
@@ -165,10 +166,15 @@ def allocate_rates_reference(
     coflow_priority: Sequence[int],
     *,
     active_coflows: Optional[Sequence[int]] = None,
+    capacity: Optional[np.ndarray] = None,
 ) -> RateAllocation:
-    """Greedy priority-ordered allocation, recomputed from scratch."""
+    """Greedy priority-ordered allocation, recomputed from scratch.
+
+    *capacity* overrides the graph's base capacity vector — used by the
+    churn-aware simulator loop to allocate against a degraded network.
+    """
     graph = instance.graph
-    residual = graph.capacity_vector()
+    residual = graph.capacity_vector() if capacity is None else capacity.copy()
     rates = np.zeros(instance.num_flows, dtype=float)
     edge_rates = (
         np.zeros((instance.num_flows, graph.num_edges), dtype=float)
@@ -265,8 +271,13 @@ def simulate_priority_schedule_reference(
     *,
     record_timeline: bool = False,
     max_time: Optional[float] = None,
+    churn: Optional[ChurnSchedule] = None,
 ) -> SimulationResult:
-    """The original event loop: full re-allocation at every event."""
+    """The original event loop: full re-allocation at every event.
+
+    *churn* mirrors :func:`repro.sim.simulate_priority_schedule` so the
+    equivalence tests can compare both loops under dynamic capacity too.
+    """
     flow_states = [
         FlowState(
             global_index=ref.global_index,
@@ -285,6 +296,11 @@ def simulate_priority_schedule_reference(
     flow_completion = np.zeros(num_flows, dtype=float)
     finished_flows = np.zeros(num_flows, dtype=bool)
 
+    if churn is not None and not churn.events:
+        churn = None
+    if churn is not None:
+        churn.validate_for(instance.graph)
+
     if max_time is None:
         max_time = float(
             instance.max_release_time()
@@ -292,10 +308,13 @@ def simulate_priority_schedule_reference(
             + num_flows
             + 10.0
         )
+        if churn is not None:
+            max_time = churn.horizon(max_time)
 
     time = 0.0
     timeline: List[TimelineEntry] = []
-    max_events = MAX_EVENTS_FACTOR * (num_flows + num_coflows + 1)
+    churn_events = len(churn.events) if churn is not None else 0
+    max_events = MAX_EVENTS_FACTOR * (num_flows + num_coflows + 1 + churn_events)
     events = 0
 
     while not finished_flows.all():
@@ -316,11 +335,20 @@ def simulate_priority_schedule_reference(
             time = float(future.min())
             continue
 
+        capacity_now = (
+            churn.capacity_vector_at(instance.graph, time)
+            if churn is not None
+            else instance.graph.capacity_vector()
+        )
         order = list(priority_fn(time, flow_states, instance))
         seen = set(order)
         order.extend(j for j in range(num_coflows) if j not in seen)
         allocation = allocate_rates_reference(
-            instance, remaining, order, active_coflows=active_coflows
+            instance,
+            remaining,
+            order,
+            active_coflows=active_coflows,
+            capacity=capacity_now,
         )
         rates = allocation.rates
         rates = np.where(released_flows, rates, 0.0)
@@ -335,6 +363,10 @@ def simulate_priority_schedule_reference(
             float(future_releases.min()) - time if future_releases.size else np.inf
         )
         dt = min(next_completion, next_release_dt)
+        if churn is not None:
+            next_churn = churn.next_event_after(time)
+            if next_churn is not None:
+                dt = min(dt, next_churn - time)
         if not np.isfinite(dt) or dt <= 0:
             raise RuntimeError(
                 f"simulation stalled at time {time:.4f}: no progress possible "
@@ -347,7 +379,14 @@ def simulate_priority_schedule_reference(
             )
 
         if record_timeline:
-            timeline.append(TimelineEntry(start=time, end=time + dt, rates=rates.copy()))
+            timeline.append(
+                TimelineEntry(
+                    start=time,
+                    end=time + dt,
+                    rates=rates.copy(),
+                    edge_usage=capacity_now - allocation.residual_capacity,
+                )
+            )
 
         transmitted = rates * dt
         remaining = np.clip(remaining - transmitted, 0.0, None)

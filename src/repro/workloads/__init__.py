@@ -26,7 +26,13 @@ from repro.workloads.generator import (
     generate_instance,
     random_instance,
 )
-from repro.workloads.traces import load_trace, save_trace
+from repro.workloads.traces import (
+    TraceValidationError,
+    load_trace,
+    save_trace,
+    validate_trace_order,
+)
+from repro.workloads.fbtrace import convert_facebook_trace, parse_facebook_trace
 from repro.workloads.analysis import (
     WorkloadStats,
     compare_profiles,
@@ -52,4 +58,8 @@ __all__ = [
     "random_instance",
     "save_trace",
     "load_trace",
+    "TraceValidationError",
+    "validate_trace_order",
+    "parse_facebook_trace",
+    "convert_facebook_trace",
 ]

@@ -29,6 +29,66 @@ from repro.utils.rng import RandomSource, as_generator
 TraceLike = Union[CoflowInstance, List[Coflow]]
 
 
+class TraceValidationError(ValueError):
+    """A trace file failed validation; the message names the offending row."""
+
+
+def _coflows_from_rows(rows: List[dict], *, where: str) -> List[Coflow]:
+    """Build coflows from serialized rows, reporting the failing row index.
+
+    :class:`Coflow` / :class:`Flow` construction already rejects NaN,
+    infinite and non-positive sizes and negative release times; this wrapper
+    turns those bare ``ValueError``\\ s into a :class:`TraceValidationError`
+    that says *which* row of *where* is malformed.
+    """
+    coflows: List[Coflow] = []
+    for row, data in enumerate(rows):
+        try:
+            coflows.append(Coflow.from_dict(data))
+        except (ValueError, TypeError, KeyError) as err:
+            raise TraceValidationError(
+                f"{where}: malformed trace row {row}: {err}"
+            ) from err
+    return coflows
+
+
+def _instance_from_dict(data: dict, *, where: str) -> CoflowInstance:
+    """``CoflowInstance.from_dict`` with row-level coflow validation errors."""
+    graph_data = data["graph"]
+    graph = NetworkGraph(
+        [
+            (e["source"], e["sink"], float(e["capacity"]))
+            for e in graph_data["edges"]
+        ],
+        nodes=graph_data.get("nodes"),
+        name=graph_data.get("name", "network"),
+    )
+    return CoflowInstance(
+        graph,
+        _coflows_from_rows(data["coflows"], where=where),
+        model=data.get("model", TransmissionModel.FREE_PATH),
+        name=data.get("name"),
+    )
+
+
+def validate_trace_order(coflows: List[Coflow], *, where: str = "trace") -> None:
+    """Raise :class:`TraceValidationError` unless release times are non-decreasing.
+
+    Recorded traces (e.g. the Facebook corpus) list coflows in arrival
+    order; a decreasing timestamp means the file was corrupted or
+    mis-converted.  Synthetic traces are free to order coflows any way they
+    like, so this check is opt-in (``require_ordered=...``).
+    """
+    previous = 0.0
+    for row, coflow in enumerate(coflows):
+        if coflow.release_time < previous:
+            raise TraceValidationError(
+                f"{where}: out-of-order release time at trace row {row}: "
+                f"{coflow.release_time} after {previous}"
+            )
+        previous = coflow.release_time
+
+
 def save_trace(trace: TraceLike, path: str | Path) -> None:
     """Write an instance or a coflow list to *path* as JSON."""
     path = Path(path)
@@ -42,27 +102,38 @@ def save_trace(trace: TraceLike, path: str | Path) -> None:
     atomic_write_json(path, payload)
 
 
-def load_trace(path: str | Path) -> TraceLike:
+def load_trace(path: str | Path, *, require_ordered: bool = False) -> TraceLike:
     """Read a trace written by :func:`save_trace` or ``CoflowInstance.save_json``.
 
     Besides the two enveloped kinds this accepts the bare
     :meth:`CoflowInstance.to_dict` format (what ``repro generate`` writes),
     so every trace file in the repository is a valid arrival-stream source.
+
+    Malformed rows (NaN / negative / zero sizes, negative release times)
+    raise :class:`TraceValidationError` naming the offending row.  With
+    *require_ordered* the coflows' release times must also be
+    non-decreasing, as recorded arrival traces are.
     """
+    where = str(path)
     payload = json.loads(Path(path).read_text())
     kind = payload.get("kind")
     if kind == "instance":
-        return CoflowInstance.from_dict(payload["data"])
-    if kind == "coflows":
-        return [Coflow.from_dict(c) for c in payload["data"]]
-    if kind is None and "coflows" in payload and "graph" in payload:
-        return CoflowInstance.from_dict(payload)
-    raise ValueError(f"unrecognized trace file {path} (kind={kind!r})")
+        trace: TraceLike = _instance_from_dict(payload["data"], where=where)
+    elif kind == "coflows":
+        trace = _coflows_from_rows(payload["data"], where=where)
+    elif kind is None and "coflows" in payload and "graph" in payload:
+        trace = _instance_from_dict(payload, where=where)
+    else:
+        raise ValueError(f"unrecognized trace file {path} (kind={kind!r})")
+    if require_ordered:
+        coflows = trace.coflows if isinstance(trace, CoflowInstance) else trace
+        validate_trace_order(list(coflows), where=where)
+    return trace
 
 
-def load_coflows(path: str | Path) -> List[Coflow]:
+def load_coflows(path: str | Path, *, require_ordered: bool = False) -> List[Coflow]:
     """Load a trace and return its coflows regardless of the stored kind."""
-    trace = load_trace(path)
+    trace = load_trace(path, require_ordered=require_ordered)
     if isinstance(trace, CoflowInstance):
         return list(trace.coflows)
     return trace
@@ -130,10 +201,15 @@ def replay_trace(
     model: TransmissionModel | str = TransmissionModel.FREE_PATH,
     rng: RandomSource = None,
     name: Optional[str] = None,
+    require_ordered: bool = False,
 ) -> CoflowInstance:
-    """Load the trace at *path* and replay it on *graph* (see :func:`replay_coflows`)."""
+    """Load the trace at *path* and replay it on *graph* (see :func:`replay_coflows`).
+
+    Malformed rows raise :class:`TraceValidationError`; *require_ordered*
+    additionally rejects traces whose release times decrease.
+    """
     return replay_coflows(
-        load_coflows(path),
+        load_coflows(path, require_ordered=require_ordered),
         graph,
         model=model,
         rng=rng,

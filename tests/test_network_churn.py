@@ -1,0 +1,126 @@
+"""Tests for capacity-churn schedules (repro.network.churn)."""
+
+import numpy as np
+import pytest
+
+from repro.network.churn import ChurnEvent, ChurnSchedule, link_outage
+from repro.network.graph import NetworkGraph
+
+
+@pytest.fixture
+def graph() -> NetworkGraph:
+    return NetworkGraph(
+        [("a", "b", 2.0), ("b", "c", 4.0)], name="churn-test"
+    )
+
+
+@pytest.fixture
+def schedule() -> ChurnSchedule:
+    return ChurnSchedule.from_events(
+        [
+            (1.0, ("a", "b"), 0.5),
+            (2.0, ("a", "b"), 0.0),
+            (3.0, ("a", "b"), 1.0),
+            (1.5, ("b", "c"), 2.0),
+        ]
+    )
+
+
+class TestChurnEvent:
+    def test_normalizes_types(self):
+        ev = ChurnEvent(time=1, edge=("a", "b"), factor=2)
+        assert ev.time == 1.0 and isinstance(ev.time, float)
+        assert ev.edge == ("a", "b")
+        assert ev.factor == 2.0 and isinstance(ev.factor, float)
+
+    @pytest.mark.parametrize("time", [-0.1, float("nan"), float("inf")])
+    def test_rejects_bad_time(self, time):
+        with pytest.raises(ValueError, match="time"):
+            ChurnEvent(time=time, edge=("a", "b"), factor=1.0)
+
+    @pytest.mark.parametrize("factor", [-0.5, float("nan"), float("inf")])
+    def test_rejects_bad_factor(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            ChurnEvent(time=0.0, edge=("a", "b"), factor=factor)
+
+    def test_round_trips_through_dict(self):
+        ev = ChurnEvent(time=1.5, edge=("a", "b"), factor=0.25)
+        assert ChurnEvent.from_dict(ev.to_dict()) == ev
+
+
+class TestChurnSchedule:
+    def test_events_are_sorted_by_time_then_edge(self, schedule):
+        times = [ev.time for ev in schedule.events]
+        assert times == sorted(times)
+        assert schedule.event_times == (1.0, 1.5, 2.0, 3.0)
+
+    def test_duplicate_edge_instant_rejected(self):
+        with pytest.raises(ValueError, match="duplicate churn event"):
+            ChurnSchedule.from_events(
+                [(1.0, ("a", "b"), 0.5), (1.0, ("a", "b"), 0.7)]
+            )
+
+    def test_empty_schedule_is_falsy(self):
+        assert not ChurnSchedule()
+        assert len(ChurnSchedule()) == 0
+        assert ChurnSchedule(events=()).next_event_after(0.0) is None
+
+    def test_validate_for_rejects_unknown_edge(self, graph):
+        bad = ChurnSchedule.from_events([(1.0, ("a", "zzz"), 0.5)])
+        with pytest.raises(ValueError, match="unknown edge"):
+            bad.validate_for(graph)
+
+    def test_factors_at_latest_event_wins(self, schedule):
+        assert schedule.factors_at(0.5) == {}
+        assert schedule.factors_at(1.0) == {("a", "b"): 0.5}
+        assert schedule.factors_at(2.5) == {("a", "b"): 0.0, ("b", "c"): 2.0}
+        assert schedule.factors_at(10.0) == {("a", "b"): 1.0, ("b", "c"): 2.0}
+
+    def test_capacity_vector_at(self, graph, schedule):
+        index = graph.edge_index()
+        before = schedule.capacity_vector_at(graph, 0.0)
+        np.testing.assert_allclose(before, graph.capacity_vector())
+        during = schedule.capacity_vector_at(graph, 2.0)
+        assert during[index[("a", "b")]] == 0.0
+        assert during[index[("b", "c")]] == 8.0
+        after = schedule.capacity_vector_at(graph, 100.0)
+        assert after[index[("a", "b")]] == 2.0
+
+    def test_capacity_vector_never_mutates_graph(self, graph, schedule):
+        base = graph.capacity_vector().copy()
+        schedule.capacity_vector_at(graph, 2.0)
+        np.testing.assert_array_equal(graph.capacity_vector(), base)
+
+    def test_capacity_vector_rejects_unknown_edge(self, graph):
+        bad = ChurnSchedule.from_events([(1.0, ("a", "zzz"), 0.5)])
+        with pytest.raises(ValueError, match="unknown edge"):
+            bad.capacity_vector_at(graph, 2.0)
+
+    def test_next_event_after_is_strict(self, schedule):
+        assert schedule.next_event_after(0.0) == 1.0
+        assert schedule.next_event_after(1.0) == 1.5
+        assert schedule.next_event_after(3.0) is None
+
+    def test_min_positive_factor_ignores_outages(self, schedule):
+        assert schedule.min_positive_factor() == 0.5
+        assert ChurnSchedule().min_positive_factor() == 1.0
+
+    def test_horizon_stretches_past_last_event(self, schedule):
+        # last event at 3.0; worst sustained degradation is factor 0.5.
+        assert schedule.horizon(10.0) == pytest.approx(3.0 + 20.0)
+        assert ChurnSchedule().horizon(10.0) == pytest.approx(10.0)
+
+    def test_round_trips_through_dict(self, schedule):
+        assert ChurnSchedule.from_dict(schedule.to_dict()) == schedule
+        assert ChurnSchedule.from_dict({"events": []}) == ChurnSchedule()
+
+
+class TestLinkOutage:
+    def test_builds_down_then_up(self):
+        down, up = link_outage(("a", "b"), 0.5, 1.5)
+        assert (down.time, down.factor) == (0.5, 0.0)
+        assert (up.time, up.factor) == (1.5, 1.0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError, match="restore after"):
+            link_outage(("a", "b"), 2.0, 2.0)

@@ -1,0 +1,159 @@
+"""Tests for the seeded trace amplifier (repro.scenarios.amplify)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios.amplify import (
+    KS_COEFFICIENT,
+    MarginalReport,
+    amplify_coflows,
+    amplify_trace,
+    check_marginals,
+)
+from repro.network.topologies import swan_topology
+from repro.workloads.generator import WorkloadSpec, generate_coflows
+from repro.workloads.traces import load_coflows, save_trace
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    spec = WorkloadSpec(profile="FB", num_coflows=6)
+    return generate_coflows(swan_topology(), spec, np.random.default_rng(7))
+
+
+def flat_demands(coflows):
+    return [flow.demand for coflow in coflows for flow in coflow.flows]
+
+
+class TestAmplifyCoflows:
+    def test_exact_target_count(self, base_trace):
+        assert len(amplify_coflows(base_trace, 17, root_seed=1)) == 17
+        assert amplify_coflows(base_trace, 0, root_seed=1) == []
+
+    def test_deterministic_per_seed(self, base_trace):
+        a = amplify_coflows(base_trace, 25, root_seed=42)
+        b = amplify_coflows(base_trace, 25, root_seed=42)
+        assert [c.release_time for c in a] == [c.release_time for c in b]
+        assert flat_demands(a) == flat_demands(b)
+        other = amplify_coflows(base_trace, 25, root_seed=43)
+        assert flat_demands(a) != flat_demands(other)
+
+    def test_prefix_property(self, base_trace):
+        """amplify(n)[:m] == amplify(m): coflow k depends only on (seed, k)."""
+        long = amplify_coflows(base_trace, 50, root_seed=123)
+        short = amplify_coflows(base_trace, 30, root_seed=123)
+        assert [c.release_time for c in long[:30]] == [
+            c.release_time for c in short
+        ]
+        assert flat_demands(long[:30]) == flat_demands(short)
+
+    def test_releases_non_decreasing_and_finite(self, base_trace):
+        releases = [
+            c.release_time for c in amplify_coflows(base_trace, 40, root_seed=5)
+        ]
+        assert all(np.isfinite(releases))
+        assert releases == sorted(releases)
+        assert releases[0] >= 0.0
+
+    def test_structure_is_bootstrapped_from_base(self, base_trace):
+        base_shapes = {
+            (len(c.flows), c.weight, tuple((f.source, f.sink) for f in c.flows))
+            for c in base_trace
+        }
+        for coflow in amplify_coflows(base_trace, 40, root_seed=9):
+            shape = (
+                len(coflow.flows),
+                coflow.weight,
+                tuple((f.source, f.sink) for f in coflow.flows),
+            )
+            assert shape in base_shapes
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(ValueError, match="empty base trace"):
+            amplify_coflows([], 10, root_seed=0)
+
+    def test_rejects_negative_target(self, base_trace):
+        with pytest.raises(ValueError, match="target_count"):
+            amplify_coflows(base_trace, -1, root_seed=0)
+
+
+class TestCheckMarginals:
+    def test_clean_amplification_passes(self, base_trace):
+        amplified = amplify_coflows(base_trace, 60, root_seed=11)
+        report = check_marginals(base_trace, amplified)
+        assert report.ok and bool(report)
+        assert report.messages == ()
+        assert report.stats["ks_demand"] <= report.stats["ks_demand_threshold"]
+        assert report.stats["ks_gap"] <= report.stats["ks_gap_threshold"]
+
+    def test_threshold_scales_with_sample_size(self):
+        from repro.scenarios.amplify import _ks_threshold
+
+        assert _ks_threshold(10, 10) == pytest.approx(
+            KS_COEFFICIENT * np.sqrt(20 / 100)
+        )
+        assert _ks_threshold(1000, 1000) < _ks_threshold(10, 10)
+
+    def test_scaled_demands_caught_by_support_check(self, base_trace):
+        amplified = amplify_coflows(base_trace, 40, root_seed=3)
+        scaled = [
+            dataclasses.replace(
+                c,
+                flows=tuple(
+                    dataclasses.replace(f, demand=f.demand * 1.7) for f in c.flows
+                ),
+            )
+            for c in amplified
+        ]
+        report = check_marginals(base_trace, scaled)
+        assert not report.ok
+        assert any("outside the base support" in msg for msg in report.messages)
+
+    def test_compressed_arrivals_caught(self, base_trace):
+        amplified = amplify_coflows(base_trace, 40, root_seed=3)
+        squeezed = [
+            dataclasses.replace(c, release_time=c.release_time * 0.05)
+            for c in amplified
+        ]
+        report = check_marginals(base_trace, squeezed)
+        assert not report.ok
+
+    def test_empty_inputs_fail_closed(self, base_trace):
+        assert not check_marginals([], base_trace).ok
+        assert not check_marginals(base_trace, []).ok
+
+    def test_report_is_falsy_on_failure(self):
+        assert not MarginalReport(ok=False, messages=("nope",))
+
+
+class TestAmplifyTrace:
+    def test_file_to_file_round_trip(self, base_trace, tmp_path):
+        src = tmp_path / "base.json"
+        out = tmp_path / "amplified.json"
+        save_trace(base_trace, src)
+        summary = amplify_trace(src, out, 30, root_seed=99)
+        assert summary["base_coflows"] == len(base_trace)
+        assert summary["num_coflows"] == 30
+        assert "ks_demand" in summary["marginals"]
+        reloaded = load_coflows(out)
+        assert len(reloaded) == 30
+        expected = amplify_coflows(base_trace, 30, root_seed=99)
+        assert flat_demands(reloaded) == flat_demands(expected)
+
+    def test_output_is_json(self, base_trace, tmp_path):
+        src = tmp_path / "base.json"
+        out = tmp_path / "amplified.json"
+        save_trace(base_trace, src)
+        amplify_trace(src, out, 10, root_seed=1)
+        payload = json.loads(out.read_text())
+        assert isinstance(payload, dict)
+
+    def test_check_can_be_disabled(self, base_trace, tmp_path):
+        src = tmp_path / "base.json"
+        out = tmp_path / "amplified.json"
+        save_trace(base_trace, src)
+        summary = amplify_trace(src, out, 5, root_seed=1, check=False)
+        assert summary["marginals"] == {}

@@ -92,3 +92,109 @@ class TestInvariantProperties:
             >= instance.coflow_release_times() - 1e-9
         )
         assert np.all(result.flow_completion_times > 0)
+
+
+# --------------------------------------------------------------------------- #
+# corpus-subsystem properties (amplifier, churn, pipeline specs)
+# --------------------------------------------------------------------------- #
+#: A small fixed base trace for the amplifier properties; built once — the
+#: properties quantify over (seed, target), not over the base.
+def _amplifier_base():
+    from repro.network.topologies import swan_topology
+    from repro.workloads.generator import WorkloadSpec, generate_coflows
+
+    return generate_coflows(
+        swan_topology(),
+        WorkloadSpec(profile="FB", num_coflows=5),
+        np.random.default_rng(11),
+    )
+
+
+AMPLIFIER_BASE = _amplifier_base()
+
+
+class TestCorpusProperties:
+    @SCENARIO_SETTINGS
+    @given(
+        root_seed=root_seeds,
+        target=st.integers(min_value=0, max_value=40),
+    )
+    def test_amplified_traces_are_well_formed(self, root_seed, target):
+        """Amplified traces keep non-negative, finite sizes and sorted,
+        non-negative release times for any (seed, target_count)."""
+        from repro.scenarios.amplify import amplify_coflows
+
+        amplified = amplify_coflows(
+            AMPLIFIER_BASE, target, root_seed=root_seed
+        )
+        assert len(amplified) == target
+        releases = [c.release_time for c in amplified]
+        assert releases == sorted(releases)
+        assert all(r >= 0.0 and np.isfinite(r) for r in releases)
+        for coflow in amplified:
+            for flow in coflow.flows:
+                assert flow.demand > 0.0 and np.isfinite(flow.demand)
+
+    @SCENARIO_SETTINGS
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        ),
+        factors=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=6,
+            max_size=6,
+        ),
+        query=st.floats(min_value=-1.0, max_value=200.0, allow_nan=False),
+    )
+    def test_churn_never_yields_negative_capacity(self, times, factors, query):
+        """Any valid schedule grants a non-negative capacity vector at any
+        query time, and never mutates the graph's base capacities."""
+        from repro.network.churn import ChurnSchedule
+        from repro.network.graph import NetworkGraph
+
+        graph = NetworkGraph([("a", "b", 2.0), ("b", "c", 0.5)], name="prop")
+        edges = (("a", "b"), ("b", "c"))
+        schedule = ChurnSchedule.from_events(
+            [
+                (t, edges[k % 2], factors[k % len(factors)])
+                for k, t in enumerate(times)
+            ]
+        )
+        capacity = schedule.capacity_vector_at(graph, query)
+        assert np.all(capacity >= 0.0)
+        assert np.all(np.isfinite(capacity))
+        np.testing.assert_array_equal(
+            graph.capacity_vector(), [2.0, 0.5]
+        )
+
+    @SCENARIO_SETTINGS
+    @given(
+        root_seed=root_seeds,
+        count=st.integers(min_value=1, max_value=9),
+        start=st.integers(min_value=0, max_value=9),
+        num_slots=st.integers(min_value=2, max_value=32),
+        family=families,
+    )
+    def test_pipeline_specs_round_trip_through_json(
+        self, root_seed, count, start, num_slots, family
+    ):
+        """to_dict -> json -> from_dict is the identity for any spec."""
+        import json
+
+        from repro.scenarios.pipeline import PipelineSpec, ScenarioSelection
+
+        spec = PipelineSpec(
+            name=f"prop-{family}",
+            root_seed=root_seed,
+            scenarios=(
+                ScenarioSelection(family=family, count=count, start_index=start),
+            ),
+            algorithms=("fifo",),
+            solver={"num_slots": num_slots},
+        )
+        rebuilt = PipelineSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec

@@ -19,9 +19,9 @@ from repro.scenarios import (
 
 @pytest.fixture(scope="module")
 def small_report():
-    # Budget 8 > number of families, so index 1 (single path) scenarios are
-    # included and jahanjou gets coverage too.
-    return run_verification(budget=8, seed=0)
+    # Budget 12 > the ten families, so every family is sampled and index 1
+    # (single path) scenarios are included — jahanjou gets coverage too.
+    return run_verification(budget=12, seed=0)
 
 
 class TestRunVerification:
@@ -55,7 +55,7 @@ class TestRunVerification:
 
     def test_report_is_json_serializable_and_reproducible(self, small_report):
         json.dumps(small_report)
-        again = run_verification(budget=8, seed=0)
+        again = run_verification(budget=12, seed=0)
         for a, b in zip(small_report["scenarios"], again["scenarios"]):
             assert a["scenario"] == b["scenario"]
             assert a["algorithms"].keys() == b["algorithms"].keys()

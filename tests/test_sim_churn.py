@@ -1,0 +1,183 @@
+"""Churn-aware simulation: outage semantics and loop equivalences.
+
+The acceptance bar for the churn feature is double-sided: with an empty (or
+absent) schedule the simulator must behave event-for-event exactly as
+before, and with a real schedule the incremental loop, the full
+re-allocation loop and the reference loop must still agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coflow.coflow import Coflow
+from repro.coflow.flow import Flow
+from repro.coflow.instance import CoflowInstance, TransmissionModel
+from repro.network.churn import ChurnSchedule, link_outage
+from repro.network.graph import NetworkGraph
+from repro.network.topologies import swan_topology
+from repro.scenarios import build_scenario
+from repro.sim.reference import (
+    fifo_priority_reference,
+    simulate_priority_schedule_reference,
+)
+from repro.sim.simulator import fifo_priority, simulate_priority_schedule
+
+
+@pytest.fixture
+def single_link_instance() -> CoflowInstance:
+    """One unit-capacity link carrying one coflow with demand 2."""
+    graph = NetworkGraph([("a", "b", 1.0)], name="single-link")
+    coflows = [Coflow([Flow("a", "b", 2.0, path=("a", "b"))], weight=1.0)]
+    return CoflowInstance(graph, coflows, model=TransmissionModel.SINGLE_PATH)
+
+
+@pytest.fixture
+def churn_scenario():
+    """A built-in capacity-churn scenario plus its decoded schedule."""
+    scenario = build_scenario("capacity-churn", 0, 123)
+    churn = ChurnSchedule.from_dict(scenario.params["churn"])
+    assert churn.events, "capacity-churn scenarios must carry churn events"
+    return scenario, churn
+
+
+class TestOutageSemantics:
+    def test_full_outage_pauses_the_flow(self, single_link_instance):
+        churn = ChurnSchedule(events=tuple(link_outage(("a", "b"), 0.5, 1.5)))
+        static = simulate_priority_schedule(single_link_instance, fifo_priority)
+        churned = simulate_priority_schedule(
+            single_link_instance,
+            fifo_priority,
+            churn=churn,
+            record_timeline=True,
+        )
+        # 0.5s of service, a 1.0s outage, then the remaining 1.5 units.
+        assert static.coflow_completion_times[0] == pytest.approx(2.0)
+        assert churned.coflow_completion_times[0] == pytest.approx(3.0)
+
+        segments = [
+            (entry.start, entry.end, float(entry.rates[0]))
+            for entry in churned.timeline
+        ]
+        assert segments == [
+            (0.0, 0.5, pytest.approx(1.0)),
+            (0.5, 1.5, pytest.approx(0.0)),
+            (1.5, 3.0, pytest.approx(1.0)),
+        ]
+
+    def test_edge_usage_tracks_the_outage(self, single_link_instance):
+        churn = ChurnSchedule(events=tuple(link_outage(("a", "b"), 0.5, 1.5)))
+        result = simulate_priority_schedule(
+            single_link_instance,
+            fifo_priority,
+            churn=churn,
+            record_timeline=True,
+        )
+        usages = [float(entry.edge_usage[0]) for entry in result.timeline]
+        assert usages == [
+            pytest.approx(1.0),
+            pytest.approx(0.0),
+            pytest.approx(1.0),
+        ]
+
+    def test_degraded_link_slows_proportionally(self, single_link_instance):
+        # Halve the link from t=0: demand 2 at rate 0.5 finishes at 4.
+        churn = ChurnSchedule.from_events([(0.0, ("a", "b"), 0.5)])
+        result = simulate_priority_schedule(
+            single_link_instance, fifo_priority, churn=churn
+        )
+        assert result.coflow_completion_times[0] == pytest.approx(4.0)
+
+    def test_unknown_edge_rejected_up_front(self, single_link_instance):
+        churn = ChurnSchedule.from_events([(1.0, ("a", "zzz"), 0.5)])
+        with pytest.raises(ValueError, match="unknown edge"):
+            simulate_priority_schedule(
+                single_link_instance, fifo_priority, churn=churn
+            )
+
+
+class TestStaticEquivalence:
+    """Empty/None churn must not change the static simulation at all."""
+
+    @pytest.mark.parametrize("family", ["online-poisson", "zipf-sizes"])
+    def test_empty_schedule_is_event_for_event_identical(self, family):
+        instance = build_scenario(family, 0, 7).instance
+        static = simulate_priority_schedule(
+            instance, fifo_priority, record_timeline=True
+        )
+        churned = simulate_priority_schedule(
+            instance, fifo_priority, churn=ChurnSchedule(), record_timeline=True
+        )
+        assert static.metadata["events"] == churned.metadata["events"]
+        np.testing.assert_array_equal(
+            static.coflow_completion_times, churned.coflow_completion_times
+        )
+        np.testing.assert_array_equal(
+            static.flow_completion_times, churned.flow_completion_times
+        )
+        assert len(static.timeline) == len(churned.timeline)
+        for a, b in zip(static.timeline, churned.timeline):
+            assert a.start == b.start and a.end == b.end
+            np.testing.assert_array_equal(a.rates, b.rates)
+
+
+class TestLoopEquivalenceUnderChurn:
+    def test_incremental_matches_full_reallocation(self, churn_scenario):
+        scenario, churn = churn_scenario
+        incremental = simulate_priority_schedule(
+            scenario.instance, fifo_priority, churn=churn, incremental=True
+        )
+        full = simulate_priority_schedule(
+            scenario.instance, fifo_priority, churn=churn, incremental=False
+        )
+        assert incremental.metadata["events"] == full.metadata["events"]
+        np.testing.assert_allclose(
+            incremental.coflow_completion_times,
+            full.coflow_completion_times,
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_incremental_matches_reference_loop(self, churn_scenario):
+        scenario, churn = churn_scenario
+        incremental = simulate_priority_schedule(
+            scenario.instance, fifo_priority, churn=churn
+        )
+        reference = simulate_priority_schedule_reference(
+            scenario.instance, fifo_priority_reference, churn=churn
+        )
+        assert incremental.metadata["events"] == reference.metadata["events"]
+        np.testing.assert_allclose(
+            incremental.coflow_completion_times,
+            reference.coflow_completion_times,
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_reference_outage_semantics_agree(self, single_link_instance):
+        churn = ChurnSchedule(events=tuple(link_outage(("a", "b"), 0.5, 1.5)))
+        reference = simulate_priority_schedule_reference(
+            single_link_instance, fifo_priority_reference, churn=churn
+        )
+        assert reference.coflow_completion_times[0] == pytest.approx(3.0)
+
+
+class TestChurnOnRealTopology:
+    def test_outage_on_swan_changes_nothing_it_should_not(self):
+        """Churn on an edge no flow uses leaves completions untouched."""
+        graph = swan_topology()
+        edge = graph.edges[0][:2]
+        coflows = [
+            Coflow(
+                [Flow(graph.edges[-1][0], graph.edges[-1][1], 1.0)],
+                weight=1.0,
+            )
+        ]
+        instance = CoflowInstance(graph, coflows, model=TransmissionModel.FREE_PATH)
+        churn = ChurnSchedule.from_events([(0.25, edge, 0.5), (0.75, edge, 1.0)])
+        static = simulate_priority_schedule(instance, fifo_priority)
+        churned = simulate_priority_schedule(instance, fifo_priority, churn=churn)
+        np.testing.assert_allclose(
+            static.coflow_completion_times,
+            churned.coflow_completion_times,
+            rtol=1e-9,
+        )
