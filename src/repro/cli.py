@@ -56,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.api import (
@@ -409,7 +410,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--select",
         default=None,
-        help="comma-separated rule codes to run (default: all rules)",
+        help="comma-separated rule codes or family prefixes to run "
+        "(e.g. R004 or R1,R2,R3; default: all rules)",
+    )
+    lint.add_argument(
+        "--diff",
+        metavar="REF",
+        default=None,
+        help="lint only files changed vs this git ref plus their "
+        "reverse-dependency closure from the call graph",
+    )
+    lint.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="call-graph extract cache (JSON, keyed by file digests); "
+        "warm runs skip re-extracting unchanged modules",
+    )
+    lint.add_argument(
+        "--certificate",
+        metavar="PATH",
+        default=None,
+        help="also write the kernel-purity certificate "
+        "(directory or .json path; requires R301/R302/R303 in the run)",
     )
     lint.add_argument(
         "--list-rules",
@@ -973,6 +996,7 @@ def _cmd_lint(args, out) -> int:
         format_rule_table,
         result_to_json,
         run_lint,
+        write_certificate,
         write_lint_report,
     )
 
@@ -983,7 +1007,9 @@ def _cmd_lint(args, out) -> int:
     if args.select:
         select = [code.strip() for code in args.select.split(",") if code.strip()]
     try:
-        result = run_lint(args.path, select=select)
+        result = run_lint(
+            args.path, select=select, diff=args.diff, cache_path=args.cache
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -997,6 +1023,19 @@ def _cmd_lint(args, out) -> int:
     if args.output is not None:
         path = write_lint_report(result, args.output)
         print(f"wrote {path}", file=out)
+        # A directory output also publishes the certificate next to the
+        # report (the CI artifact layout); a .json path names the report
+        # alone, so the certificate needs --certificate explicitly.
+        if result.certificate is not None and Path(args.output).suffix != ".json":
+            cert_path = write_certificate(result, args.output)
+            print(f"wrote {cert_path}", file=out)
+    if args.certificate is not None:
+        try:
+            cert_path = write_certificate(result, args.certificate)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {cert_path}", file=out)
     return 0 if result.ok else 1
 
 

@@ -16,9 +16,11 @@ Architecture
 * :class:`ProjectContext` — every file of a lint run, for cross-module
   checks (e.g. registry completeness).
 * :func:`register_rule` — decorator registering a check under a stable
-  ``R###`` code with a *file* or *project* scope and optional per-path
-  exemptions (the one sanctioned module a rule's discipline funnels
-  through).
+  ``R###`` code with a *file*, *project* or *graph* scope and optional
+  per-path exemptions (the one sanctioned module a rule's discipline
+  funnels through).  Graph-scoped checks receive the resolved
+  :class:`~repro.lint.callgraph.CallGraph` alongside the project and power
+  the interprocedural R1xx/R2xx/R3xx families.
 * :class:`Finding` — one violation: rule code, file, position, message.
 
 Suppressions
@@ -195,7 +197,7 @@ class RuleInfo:
     name: str
     description: str
     rationale: str
-    scope: str  # "file" | "project"
+    scope: str  # "file" | "project" | "graph"
     check: Callable
     allowed_paths: Tuple[str, ...] = ()
 
@@ -220,8 +222,10 @@ def register_rule(
     allowed_paths: Iterable[str] = (),
 ) -> Callable[[Callable], Callable]:
     """Decorator registering *check* under *code* (latest registration wins)."""
-    if scope not in ("file", "project"):
-        raise ValueError(f"rule scope must be 'file' or 'project', got {scope!r}")
+    if scope not in ("file", "project", "graph"):
+        raise ValueError(
+            f"rule scope must be 'file', 'project' or 'graph', got {scope!r}"
+        )
 
     def decorator(check: Callable) -> Callable:
         _RULES[code] = RuleInfo(

@@ -33,7 +33,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.coflow.instance import CoflowInstance, TransmissionModel
-from repro.utils.rng import derive_seed
+from repro.utils.rng import as_generator, derive_seed
 
 #: A family builder maps (rng, index) to an instance plus the parameters it
 #: drew (recorded in verification reports so failures are reproducible by
@@ -152,7 +152,7 @@ def build_scenario(family: str, index: int, root_seed: int) -> Scenario:
     if index < 0:
         raise ValueError(f"scenario index must be non-negative, got {index}")
     seed = derive_seed(root_seed, family, index)
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     instance, params = entry.builder(rng, index)
     return Scenario(
         family=family,

@@ -31,8 +31,6 @@ reproducibility contract.
 
 from __future__ import annotations
 
-import os
-import tempfile
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -54,6 +52,7 @@ from repro.openshop.reduction import (
     openshop_objective_bounds,
     openshop_to_coflow_instance,
 )
+from repro.utils.io import scratch_path
 from repro.workloads.generator import WorkloadSpec, generate_coflows
 from repro.workloads.traces import replay_coflows, replay_trace, save_trace
 
@@ -370,9 +369,7 @@ def _build_trace_replay(rng: np.random.Generator, index: int):
     cross_topology = bool(rng.integers(0, 2))
     target_graph = gscale_topology() if cross_topology else swan_topology()
 
-    fd, path = tempfile.mkstemp(suffix=".json", prefix="repro-trace-")
-    os.close(fd)
-    try:
+    with scratch_path(suffix=".json", prefix="repro-trace-") as path:
         save_trace(list(coflows), path)
         instance = replay_trace(
             path,
@@ -381,8 +378,6 @@ def _build_trace_replay(rng: np.random.Generator, index: int):
             rng=rng,
             name=f"trace-replay-{index}",
         )
-    finally:
-        os.unlink(path)
     params = {
         "num_coflows": num_coflows,
         "demand_scale": spec.demand_scale,

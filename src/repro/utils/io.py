@@ -99,6 +99,27 @@ def atomic_writer(
         raise
 
 
+@contextmanager
+def scratch_path(*, suffix: str = "", prefix: str = "repro-") -> Iterator[Path]:
+    """A throwaway temp-file path, removed on exit no matter what.
+
+    The save→load round-trip helpers (e.g. the trace-replay scenario
+    family) need a real filesystem path to exercise serialization; this is
+    the sanctioned way to get one.  Keeping the ``tempfile`` primitive here
+    rather than at the call sites preserves lint rule R203's invariant:
+    raw write primitives appear only inside ``utils/io.py``.
+    """
+    fd, tmp = tempfile.mkstemp(suffix=suffix, prefix=prefix)
+    os.close(fd)
+    try:
+        yield Path(tmp)
+    finally:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
 def atomic_write_text(path: str | Path, text: str) -> Path:
     """Atomically write *text* to *path* (temp file + rename)."""
     path = Path(path)
