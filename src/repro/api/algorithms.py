@@ -62,6 +62,8 @@ def _scheduler(
         rng=config.rng,
         verify=config.verify,
         solver_method=config.solver_method,
+        strategy=config.strategy,
+        backend=config.backend,
         lp_solution=lp_solution,
     )
 

@@ -41,6 +41,16 @@ class SolverConfig:
         or a :class:`numpy.random.Generator`).
     solver_method:
         scipy ``linprog`` backend for every LP solve (``"highs"`` default).
+    strategy:
+        Staged-solve strategy for the time-indexed LP: ``"direct"`` (one
+        cold solve), ``"refine"`` (geometric stage warm-starts the fine
+        grid) or ``"coarsen"`` (dual-guided adaptive grid with an explicit
+        (1+ε) guarantee).  See
+        :func:`repro.core.timeindexed.solve_time_indexed_lp`.
+    backend:
+        Solver backend selector (``"auto"``, ``"linprog"`` or
+        ``"persistent-highs"``); ``"auto"`` uses the resident HiGHS backend
+        when available and falls back to ``linprog`` otherwise.
     num_samples:
         Number of λ draws for ``stretch-best`` / ``stretch-average``.
     compact:
@@ -55,6 +65,8 @@ class SolverConfig:
     epsilon: Optional[float] = None
     rng: RandomSource = None
     solver_method: str = "highs"
+    strategy: str = "direct"
+    backend: str = "auto"
     num_samples: int = DEFAULT_NUM_SAMPLES
     compact: bool = True
     verify: bool = True

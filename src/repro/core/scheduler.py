@@ -113,6 +113,12 @@ class CoflowScheduler:
         feasibility and the report attached to the outcome.
     solver_method:
         scipy ``linprog`` backend used for the LP solve.
+    strategy:
+        Staged-solve strategy for the time-indexed LP (``"direct"``,
+        ``"refine"`` or ``"coarsen"``; see
+        :func:`repro.core.timeindexed.solve_time_indexed_lp`).
+    backend:
+        Solver backend selector passed through to the staged pipeline.
     lp_solution:
         A previously solved LP solution for *instance*, seeding the cache so
         several algorithms (or several schedulers) can share one LP solve.
@@ -129,6 +135,8 @@ class CoflowScheduler:
         rng: RandomSource = None,
         verify: bool = True,
         solver_method: str = "highs",
+        strategy: str = "direct",
+        backend: str = "auto",
         lp_solution: Optional[CoflowLPSolution] = None,
     ) -> None:
         if lp_solution is not None and lp_solution.instance is not instance:
@@ -141,6 +149,8 @@ class CoflowScheduler:
         self._rng = as_generator(rng)
         self._verify = verify
         self._solver_method = solver_method
+        self._strategy = strategy
+        self._backend = backend
         # The LP cache is keyed on the *actual* grid the LP was built on, so
         # a seeded (shared) solution is only reused when this scheduler's own
         # grid parameters resolve to the same grid — a request that differs
@@ -193,6 +203,8 @@ class CoflowScheduler:
                 self.instance,
                 grid=grid,
                 solver_method=self._solver_method,
+                strategy=self._strategy,
+                backend=self._backend,
             )
             self._lp_solutions[key] = solution
         return solution

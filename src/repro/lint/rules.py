@@ -574,6 +574,76 @@ def check_bare_sleep(ctx: FileContext) -> Iterator[Finding]:
             )
 
 
+# --------------------------------------------------------------------------- #
+# R010 — no direct solver-engine access
+# --------------------------------------------------------------------------- #
+@register_rule(
+    "R010",
+    "no-direct-linprog",
+    description=(
+        "scipy.optimize.linprog and the private _highspy engine are only "
+        "touched inside repro.lp.backends; everything else solves through "
+        "a SolverBackend (or the solve_lp wrapper on top of it)"
+    ),
+    rationale=(
+        "PR 10: the staged solve pipeline's warm starts, dual extraction "
+        "and caching discipline live in the backend layer; a direct engine "
+        "call bypasses result normalization, the optimal-only cache rule "
+        "and the HIGHS_AVAILABLE fallback"
+    ),
+    allowed_paths=("lp/backends/linprog.py", "lp/backends/highs.py"),
+)
+def check_direct_linprog(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if "_highspy" in alias.name:
+                    yield ctx.finding(
+                        node,
+                        "R010",
+                        f"import of private HiGHS engine '{alias.name}'; "
+                        "use repro.lp.backends (PersistentHighsBackend) "
+                        "instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if "_highspy" in module:
+                yield ctx.finding(
+                    node,
+                    "R010",
+                    f"import from private HiGHS engine '{module}'; use "
+                    "repro.lp.backends (PersistentHighsBackend) instead",
+                )
+                continue
+            for alias in node.names:
+                if "_highspy" in alias.name:
+                    yield ctx.finding(
+                        node,
+                        "R010",
+                        f"import of private HiGHS engine '{alias.name}'; "
+                        "use repro.lp.backends (PersistentHighsBackend) "
+                        "instead",
+                    )
+                elif module == "scipy.optimize" and alias.name == "linprog":
+                    yield ctx.finding(
+                        node,
+                        "R010",
+                        "direct import of scipy.optimize.linprog; solve "
+                        "through repro.lp.backends.LinprogBackend (or "
+                        "repro.lp.solver.solve_lp) instead",
+                    )
+        elif isinstance(node, ast.Call):
+            qual = ctx.imports.qualify(node.func)
+            if qual == "scipy.optimize.linprog":
+                yield ctx.finding(
+                    node,
+                    "R010",
+                    "direct call to scipy.optimize.linprog; solve through "
+                    "repro.lp.backends.LinprogBackend (or "
+                    "repro.lp.solver.solve_lp) instead",
+                )
+
+
 #: Importing this module registers every built-in rule; the tuple is the
 #: stable public catalogue (mirrors scenarios.families' registration style).
 BUILTIN_RULES = (
@@ -586,4 +656,5 @@ BUILTIN_RULES = (
     "R007",
     "R008",
     "R009",
+    "R010",
 )

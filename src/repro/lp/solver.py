@@ -1,47 +1,46 @@
-"""Thin wrapper around :func:`scipy.optimize.linprog` (HiGHS) with warm starts.
+"""Program-level LP solving: caching, error policy, result shaping.
 
 The paper used Gurobi; HiGHS (bundled with scipy) solves the exact same LPs
-to optimality, just more slowly.  Keeping the solver behind one function
-means swapping in another backend later only touches this module.
+to optimality, just more slowly.  Since the backend split this module no
+longer talks to a solver engine directly — it drives a
+:class:`~repro.lp.backends.linprog.LinprogBackend` (the engine-import-free
+layer above it owns caching and the ``require_optimal`` contract).  Staged
+solves that need warm starts or duals reach for
+:func:`repro.lp.backends.get_backend` instead.
 
 Warm starting
 -------------
 scipy's ``linprog`` interface exposes neither basis injection nor a primal
 starting point for HiGHS, so "warm starting" here degrades to the strongest
-form the backend allows: **exact solution reuse**.  A :class:`LPSolveCache`
+form that backend allows: **exact solution reuse**.  A :class:`LPSolveCache`
 fingerprints every solved program (objective, constraint matrices, bounds,
 method) and returns the cached optimal solution when an identical program is
 solved again — which happens constantly in the batch runner (the shared
 uniform-grid LP requested by several algorithms), in the λ-sampling
 evaluation (every draw reuses one LP), and in repeated benchmark rounds.
-When a real basis-reusing backend (e.g. ``highspy``) becomes available, only
-this module needs to learn how to seed it.
+Real warm starts (primal seeding of a resident HiGHS model) live in
+:class:`~repro.lp.backends.highs.PersistentHighsBackend` and are driven by
+the staged pipeline in :mod:`repro.core.timeindexed`.
 """
 
 from __future__ import annotations
 
 import hashlib
-import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import replace
 from typing import Iterator, Optional
 
 import numpy as np
-from scipy.optimize import linprog
 
+from repro.lp.backends.base import DEFAULT_METHOD, LPSpec
+from repro.lp.backends.linprog import LinprogBackend
 from repro.lp.model import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 
 
 class LPSolverError(RuntimeError):
     """Raised when an LP cannot be solved to optimality and the caller required it."""
-
-
-#: HiGHS dual-simplex is the most robust choice for these very sparse,
-#: highly degenerate scheduling LPs; "highs" lets scipy pick between simplex
-#: and interior point.
-DEFAULT_METHOD = "highs"
 
 
 def _fingerprint(parts: Iterator[bytes]) -> str:
@@ -78,6 +77,12 @@ def _program_key(program: LinearProgram, matrices, method: str, presolve: bool) 
 class LPSolveCache:
     """LRU cache of solved programs, keyed by exact program fingerprint.
 
+    Backend-agnostic: it stores finished :class:`LPResult` objects, so any
+    backend whose solves are deterministic for a given fingerprint can sit
+    beneath it.  Only **optimal** results are admitted — caching a failure
+    would replay a transient solver hiccup as a permanent one for the rest
+    of the process.
+
     Cached entries are returned as shallow copies with a fresh ``metadata``
     dict (tagged ``warm_start: "reused"``), so callers may annotate results
     without corrupting the cache.
@@ -110,6 +115,8 @@ class LPSolveCache:
         )
 
     def store(self, key: str, result: LPResult) -> None:
+        if not result.is_optimal:
+            return
         self._entries[key] = result
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
@@ -180,10 +187,10 @@ def solve_lp(
         Warm-start cache; defaults to the cache installed by
         :func:`solver_cache` (or no caching when none is installed).
         Time-limited solves are never cached (the limit may have truncated
-        the solve nondeterministically).
+        the solve nondeterministically), and non-optimal results are never
+        cached (a transient failure must not become permanent).
     """
     matrices = program.build_matrices()
-    c, a_ub, b_ub, a_eq, b_eq, bounds = matrices
 
     active = cache if cache is not None else _ACTIVE_CACHE
     cacheable = active is not None and time_limit is None
@@ -198,37 +205,38 @@ def solve_lp(
                 )
             return hit
 
-    options: dict = {"presolve": presolve}
-    if time_limit is not None and method.startswith("highs"):
-        options["time_limit"] = float(time_limit)
-
-    start = time.perf_counter()
-    scipy_result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=bounds,
-        method=method,
-        options=options,
+    c, a_ub, b_ub, a_eq, b_eq, _bounds = matrices
+    lower, upper = program.bounds_arrays()
+    spec = LPSpec(
+        c=np.ascontiguousarray(c, dtype=float),
+        a_ub=a_ub,
+        b_ub=None if b_ub is None else np.ascontiguousarray(b_ub, dtype=float),
+        a_eq=a_eq,
+        b_eq=None if b_eq is None else np.ascontiguousarray(b_eq, dtype=float),
+        col_lower=lower,
+        col_upper=upper,
+        name=program.name,
     )
-    elapsed = time.perf_counter() - start
+    backend = LinprogBackend(method=method)
+    solution = backend.solve(spec, presolve=presolve, time_limit=time_limit)
 
-    status = LPStatus.from_scipy(scipy_result.status)
-    if status is LPStatus.OPTIMAL:
+    if solution.status is LPStatus.OPTIMAL:
         result = LPResult(
-            status=status,
-            objective=float(scipy_result.fun),
-            x=np.asarray(scipy_result.x, dtype=float),
-            solve_seconds=elapsed,
-            message=str(scipy_result.message),
+            status=solution.status,
+            objective=solution.objective,
+            x=solution.x,
+            solve_seconds=solution.solve_seconds,
+            message=solution.message,
             metadata=program.size_summary(),
+            simplex_iterations=solution.simplex_iterations,
+            ub_duals=solution.ub_duals,
+            eq_duals=solution.eq_duals,
         )
     else:
-        result = LPResult.failed(status, message=str(scipy_result.message))
-        result.solve_seconds = elapsed
+        result = LPResult.failed(solution.status, message=solution.message)
+        result.solve_seconds = solution.solve_seconds
         result.metadata = program.size_summary()
+        result.simplex_iterations = solution.simplex_iterations
 
     if cacheable:
         active.store(key, result)

@@ -17,6 +17,11 @@ Scenarios
     warm-started per-event LPs vs full per-event re-allocation) for the
     Terra (free path) and greedy (single path) scenarios, checking that both
     implementations produce the same completion times.
+``lp_solve``
+    The staged solve pipeline: ``strategy="direct"`` vs ``"refine"``
+    (geometric stage + warm-started fine solve) vs ``"coarsen"``
+    (dual-guided adaptive grid) on fine-uniform grids, tracking per-stage
+    solve seconds and simplex iterations.
 ``shared_lp_batch``
     Wall time of the batch runner with shared-LP reuse and the solver
     warm-start cache.
@@ -62,8 +67,9 @@ SCHEMA_VERSION = 1
 #: non-blocking for now).
 LP_BUILD_TARGET_SPEEDUP = 3.0
 SIMULATOR_TARGET_SPEEDUP = 2.0
+LP_SOLVE_TARGET_SPEEDUP = 1.5
 
-ALL_SCENARIOS = ("lp_build", "simulator", "shared_lp_batch")
+ALL_SCENARIOS = ("lp_build", "lp_solve", "simulator", "shared_lp_batch")
 
 
 def _time_best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
@@ -154,6 +160,128 @@ def bench_lp_build(*, quick: bool = False, repeats: int = 3) -> Dict:
             "geomean_build_speedup": _geomean(speedups),
             "target_speedup": LP_BUILD_TARGET_SPEEDUP,
             "meets_target": min(speedups) >= LP_BUILD_TARGET_SPEEDUP,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# scenario: staged solve pipeline
+# --------------------------------------------------------------------------- #
+def _stage_totals(solution) -> Tuple[float, Optional[int], bool]:
+    """(total solve seconds, total simplex iterations, any warm stage)."""
+    stages = solution.metadata.get("solve_path", {}).get("stages", [])
+    seconds = sum(float(s.get("solve_seconds", 0.0)) for s in stages)
+    iterations = [s.get("simplex_iterations") for s in stages]
+    total_iterations = (
+        sum(int(i) for i in iterations)
+        if iterations and all(i is not None for i in iterations)
+        else None
+    )
+    warm = any(bool(s.get("warm_start")) for s in stages)
+    return seconds, total_iterations, warm
+
+
+def bench_lp_solve(*, quick: bool = False, repeats: int = 1) -> Dict:
+    """Direct vs refine vs coarsen solves on fine-uniform grids.
+
+    The refine speedup is measured on *solver* seconds (the summed
+    per-stage ``solve_seconds``) — the quantity the staged pipeline
+    attacks; assembly time is the ``lp_build`` scenario's concern.  The
+    coarsen rows additionally record the relative objective gap against
+    the direct optimum and the retained (1+ε) guarantee.
+    """
+    from repro.core.timeindexed import solve_time_indexed_lp
+
+    graph = swan_topology()
+    if quick:
+        case_specs = [("single_path", 8, 1.0), ("free_path", 6, 1.0)]
+    else:
+        case_specs = [
+            ("single_path", 12, 1.0),
+            ("single_path", 12, 0.5),
+            ("free_path", 8, 1.0),
+            ("free_path", 8, 0.5),
+        ]
+    cases: List[Dict] = []
+    for model, num_coflows, slot_length in case_specs:
+        spec = WorkloadSpec(
+            profile="TPC-DS", num_coflows=num_coflows, seed=42, demand_scale=1.5
+        )
+        instance = generate_instance(graph, spec, model=model, rng=42)
+
+        solutions: Dict[str, object] = {}
+        totals: Dict[str, Tuple[float, Optional[int], bool]] = {}
+        for strategy in ("direct", "refine", "coarsen"):
+            best: Optional[Tuple[float, Optional[int], bool]] = None
+            solution = None
+            for _ in range(max(repeats, 1)):
+                solution = solve_time_indexed_lp(
+                    instance, slot_length=slot_length, strategy=strategy
+                )
+                measured = _stage_totals(solution)
+                if best is None or measured[0] < best[0]:
+                    best = measured
+            solutions[strategy] = solution
+            totals[strategy] = best
+
+        direct, refine, coarsen = (
+            solutions["direct"],
+            solutions["refine"],
+            solutions["coarsen"],
+        )
+        direct_seconds, direct_iters, _ = totals["direct"]
+        refine_seconds, refine_iters, refine_warm = totals["refine"]
+        coarsen_seconds, coarsen_iters, _ = totals["coarsen"]
+        coarsen_info = coarsen.metadata["solve_path"].get("coarsen", {})
+        rel_gap = abs(coarsen.objective - direct.objective) / max(
+            abs(direct.objective), 1e-12
+        )
+        cases.append(
+            {
+                "case": f"{model}/uniform(L={slot_length:g})",
+                "model": model,
+                "num_coflows": num_coflows,
+                "slots": direct.grid.num_slots,
+                "solve_seconds_direct": direct_seconds,
+                "solve_seconds_refine": refine_seconds,
+                "solve_seconds_coarsen": coarsen_seconds,
+                "simplex_iterations_direct": direct_iters,
+                "simplex_iterations_refine": refine_iters,
+                "simplex_iterations_coarsen": coarsen_iters,
+                "refine_warm_start": refine_warm,
+                "solve_speedup_refine": (
+                    direct_seconds / refine_seconds if refine_seconds > 0 else 0.0
+                ),
+                "solve_speedup_coarsen": (
+                    direct_seconds / coarsen_seconds if coarsen_seconds > 0 else 0.0
+                ),
+                "objective_direct": float(direct.objective),
+                "objective_refine": float(refine.objective),
+                "objective_coarsen": float(coarsen.objective),
+                "refine_objective_matches": bool(
+                    abs(refine.objective - direct.objective)
+                    <= 1e-6 * max(abs(direct.objective), 1.0)
+                ),
+                "coarsen_rel_gap": rel_gap,
+                "coarsen_slots_final": coarsen_info.get("slots_final"),
+                "coarsen_guarantee_factor": coarsen_info.get("guarantee_factor"),
+                "coarsen_within_guarantee": bool(
+                    1.0 + rel_gap <= coarsen_info.get("guarantee_factor", 1.0) + 1e-9
+                ),
+            }
+        )
+    speedups = [c["solve_speedup_refine"] for c in cases]
+    return {
+        "cases": cases,
+        "summary": {
+            "min_solve_speedup": min(speedups),
+            "geomean_solve_speedup": _geomean(speedups),
+            "target_speedup": LP_SOLVE_TARGET_SPEEDUP,
+            "meets_target": _geomean(speedups) >= LP_SOLVE_TARGET_SPEEDUP,
+            "all_refine_match": all(c["refine_objective_matches"] for c in cases),
+            "all_coarsen_within_guarantee": all(
+                c["coarsen_within_guarantee"] for c in cases
+            ),
         },
     }
 
@@ -364,11 +492,16 @@ def run_bench(
         )
     build_repeats = repeats if repeats is not None else (3 if quick else 5)
     sim_repeats = repeats if repeats is not None else (1 if quick else 2)
+    solve_repeats = repeats if repeats is not None else (1 if quick else 2)
     report: Dict = {
         "schema": SCHEMA_VERSION,
         "created": report_stamp(),
         "quick": quick,
-        "repeats": {"lp_build": build_repeats, "simulator": sim_repeats},
+        "repeats": {
+            "lp_build": build_repeats,
+            "lp_solve": solve_repeats,
+            "simulator": sim_repeats,
+        },
         "environment": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -378,6 +511,10 @@ def run_bench(
     if "lp_build" in chosen:
         report["scenarios"]["lp_build"] = bench_lp_build(
             quick=quick, repeats=build_repeats
+        )
+    if "lp_solve" in chosen:
+        report["scenarios"]["lp_solve"] = bench_lp_solve(
+            quick=quick, repeats=solve_repeats
         )
     if "simulator" in chosen:
         report["scenarios"]["simulator"] = bench_simulator(
@@ -520,7 +657,14 @@ def compare_reports(previous: Dict, current: Dict) -> Dict:
             ):
                 continue
             row: Dict = {"case": cur_case["case"]}
-            for seconds_key in ("build_seconds", "seconds", "solve_seconds"):
+            for seconds_key in (
+                "build_seconds",
+                "seconds",
+                "solve_seconds",
+                "solve_seconds_direct",
+                "solve_seconds_refine",
+                "solve_seconds_coarsen",
+            ):
                 if seconds_key in cur_case and prev_case.get(seconds_key):
                     row[f"{seconds_key}_ratio"] = (
                         prev_case[seconds_key] / cur_case[seconds_key]
@@ -560,6 +704,35 @@ def format_report(report: Dict) -> str:
         lines.append(
             f"  -> min speedup {s['min_build_speedup']:.1f}x "
             f"(target {s['target_speedup']:.1f}x): {verdict}"
+        )
+        lines.append("")
+
+    solve = scenarios.get("lp_solve")
+    if solve:
+        lines.append("Staged solve pipeline (direct vs refine vs coarsen)")
+        lines.append(
+            f"{'case':<32s} {'slots':>5s} {'direct(s)':>9s} {'refine(s)':>9s} "
+            f"{'speedup':>8s} {'match':>5s} {'coarsen(s)':>10s} {'gap':>6s}"
+        )
+        for c in solve["cases"]:
+            lines.append(
+                f"{c['case']:<32s} {c['slots']:>5d} "
+                f"{c['solve_seconds_direct']:>9.3f} "
+                f"{c['solve_seconds_refine']:>9.3f} "
+                f"{c['solve_speedup_refine']:>7.2f}x "
+                f"{'yes' if c['refine_objective_matches'] else 'NO':>5s} "
+                f"{c['solve_seconds_coarsen']:>10.3f} "
+                f"{c['coarsen_rel_gap'] * 100:>5.1f}%"
+            )
+        s = solve["summary"]
+        verdict = "PASS" if s["meets_target"] else "FAIL"
+        lines.append(
+            f"  -> geomean refine speedup {s['geomean_solve_speedup']:.2f}x "
+            f"(target {s['target_speedup']:.1f}x): {verdict}; "
+            f"refine objectives match: "
+            f"{'yes' if s['all_refine_match'] else 'NO'}; "
+            f"coarsen within guarantee: "
+            f"{'yes' if s['all_coarsen_within_guarantee'] else 'NO'}"
         )
         lines.append("")
 

@@ -44,10 +44,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
 from repro.coflow.instance import CoflowInstance, FlowRef, TransmissionModel
-from repro.lp.persistent import PersistentHighsError, make_persistent_lp
+from repro.lp.backends import (
+    LinprogBackend,
+    LPSpec,
+    PersistentHighsError,
+    make_persistent_lp,
+)
 from repro.lp.solver import LPSolverError
 
 #: Rates below this threshold are treated as zero.
@@ -260,22 +264,23 @@ class _FreePathTemplate:
                 ) from exc
         else:
             self.a_eq.data[self._rem_slots] = -rem_active[self._rem_flow]
-            result = linprog(
-                self.c,
-                A_ub=self.a_ub,
+            spec = LPSpec(
+                c=self.c,
+                a_ub=self.a_ub,
                 b_ub=np.maximum(residual, 0.0),
-                A_eq=self.a_eq,
+                a_eq=self.a_eq,
                 b_eq=self.b_eq,
-                bounds=self.bounds,
-                method="highs",
-                options={"presolve": True},
+                col_lower=self.bounds[:, 0],
+                col_upper=self.bounds[:, 1],
+                name="max-concurrent-flow",
             )
-            if result.status != 0:
+            solution = LinprogBackend().solve(spec)
+            if not solution.is_optimal:
                 raise LPSolverError(
-                    f"LP 'max-concurrent-flow' failed to solve: status "
-                    f"{result.status} ({result.message})"
+                    f"LP 'max-concurrent-flow' failed to solve: "
+                    f"{solution.status.value} ({solution.message})"
                 )
-            x = np.asarray(result.x, dtype=float)
+            x = np.asarray(solution.x, dtype=float)
         alpha = float(max(x[0], 0.0))
         y = np.clip(x[1:].reshape(self.k, self.num_edges), 0.0, None)
         if len(self._memo) >= self.MEMO_MAX_ENTRIES:

@@ -275,3 +275,36 @@ class TestStartMethodNotLocked:
         )
         assert result.returncode == 0, result.stderr
         assert "OK" in result.stdout
+
+
+class TestSolveStrategyThreading:
+    """strategy/backend flow from SolverConfig through to the LP telemetry."""
+
+    def test_default_strategy_is_direct(self):
+        report = api.solve(make_instances(1)[0], "lp-heuristic")
+        assert report.solve_path is not None
+        assert report.solve_path["strategy"] == "direct"
+
+    def test_refine_override_reaches_the_lp(self):
+        instance = make_instances(1)[0]
+        report = api.solve(
+            instance, "lp-heuristic", strategy="refine", slot_length=0.25
+        )
+        path = report.solve_path
+        assert path is not None and path["strategy"] == "refine"
+        direct = api.solve(instance, "lp-heuristic", slot_length=0.25)
+        assert report.lower_bound == pytest.approx(
+            direct.lower_bound, rel=1e-6
+        )
+
+    def test_config_strategy_field(self):
+        config = SolverConfig(strategy="refine", slot_length=0.25)
+        report = api.solve(make_instances(1)[0], "lp-heuristic", config=config)
+        assert report.solve_path["strategy"] == "refine"
+
+    def test_baselines_have_no_solve_path(self):
+        # An LP-free baseline solved standalone gets no shared LP, hence no
+        # staged-solve telemetry.
+        report = api.solve(make_instances(1)[0], "fifo")
+        assert report.lp_solution is None
+        assert report.solve_path is None

@@ -599,6 +599,99 @@ class TestR009BareSleep:
         assert lint_codes(tmp_path, select=["R009"]) == []
 
 
+# --------------------------------------------------------------------------- #
+# R010 — direct solver-engine access
+# --------------------------------------------------------------------------- #
+class TestR010DirectLinprog:
+    def test_linprog_import_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "core/solver_shortcut.py",
+            """
+            from scipy.optimize import linprog
+
+            def solve(c):
+                return linprog(c)
+            """,
+        )
+        assert "R010" in lint_codes(tmp_path, select=["R010"])
+
+    def test_qualified_linprog_call_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import scipy.optimize
+
+            def solve(c):
+                return scipy.optimize.linprog(c)
+            """,
+        )
+        assert "R010" in lint_codes(tmp_path, select=["R010"])
+
+    def test_highspy_import_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "sim/fast_path.py",
+            """
+            from scipy.optimize._highspy import _core
+
+            def engine():
+                return _core._Highs()
+            """,
+        )
+        assert "R010" in lint_codes(tmp_path, select=["R010"])
+
+    def test_highspy_module_import_is_flagged(self, tmp_path):
+        write_module(
+            tmp_path,
+            "mod.py",
+            """
+            import scipy.optimize._highspy._core as hs
+
+            def engine():
+                return hs._Highs()
+            """,
+        )
+        assert "R010" in lint_codes(tmp_path, select=["R010"])
+
+    def test_backend_modules_are_exempt(self, tmp_path):
+        write_module(
+            tmp_path,
+            "lp/backends/linprog.py",
+            """
+            from scipy.optimize import linprog
+
+            def solve(c):
+                return linprog(c)
+            """,
+        )
+        write_module(
+            tmp_path,
+            "lp/backends/highs.py",
+            """
+            from scipy.optimize._highspy import _core
+
+            def engine():
+                return _core._Highs()
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R010"]) == []
+
+    def test_backend_layer_consumers_pass(self, tmp_path):
+        write_module(
+            tmp_path,
+            "sim/allocator.py",
+            """
+            from repro.lp.backends import LinprogBackend, LPSpec
+
+            def solve(spec: LPSpec):
+                return LinprogBackend().solve(spec)
+            """,
+        )
+        assert lint_codes(tmp_path, select=["R010"]) == []
+
+
 def test_every_builtin_rule_has_an_injection_test():
     """Guard: adding a rule without a catchability fixture fails here."""
     tested = {
@@ -611,5 +704,6 @@ def test_every_builtin_rule_has_an_injection_test():
         "R007",
         "R008",
         "R009",
+        "R010",
     }
     assert set(BUILTIN_RULES) == tested

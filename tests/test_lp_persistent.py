@@ -200,6 +200,33 @@ class TestLPSolveCache:
         with pytest.raises(ValueError):
             LPSolveCache(max_entries=0)
 
+    def test_non_optimal_results_are_not_cached(self):
+        # Regression: a transient failure must never be replayed as a
+        # permanent one.  An infeasible program solved twice under one
+        # cache is two misses and zero stored entries.
+        lp = LinearProgram(name="infeasible")
+        idx = lp.add_variables("x", 1, lower=0.0).indices()
+        lp.set_objective(idx, [1.0])
+        lp.add_constraint(idx, [1.0], "<=", -1.0)
+        cache = LPSolveCache()
+        first = solve_lp(lp, cache=cache)
+        second = solve_lp(lp, cache=cache)
+        assert not first.is_optimal and not second.is_optimal
+        assert "warm_start" not in second.metadata
+        assert len(cache) == 0
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 2}
+
+    def test_store_rejects_non_optimal_directly(self):
+        cache = LPSolveCache()
+        lp = LinearProgram(name="infeasible")
+        idx = lp.add_variables("x", 1, lower=0.0).indices()
+        lp.set_objective(idx, [1.0])
+        lp.add_constraint(idx, [1.0], "<=", -1.0)
+        failed = solve_lp(lp)
+        cache.store("some-key", failed)
+        assert len(cache) == 0
+        assert cache.lookup("some-key") is None
+
     def test_time_limited_solves_are_not_cached(self):
         cache = LPSolveCache()
         solve_lp(toy_program(), cache=cache, time_limit=10.0)

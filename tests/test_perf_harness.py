@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main as cli_main
 from repro.perf.harness import (
     bench_lp_build,
+    bench_lp_solve,
     bench_simulator,
     compare_reports,
     compare_with_previous,
@@ -29,6 +30,32 @@ class TestScenarios:
             # The vectorized builder must never be slower than the loops.
             assert case["build_speedup"] > 1.0
         assert scenario["summary"]["min_build_speedup"] > 1.0
+
+    def test_lp_solve_scenario(self):
+        scenario = bench_lp_solve(quick=True, repeats=1)
+        assert scenario["cases"], "lp_solve produced no cases"
+        for case in scenario["cases"]:
+            assert case["solve_seconds_direct"] > 0
+            assert case["solve_seconds_refine"] > 0
+            assert case["solve_seconds_coarsen"] > 0
+            assert case["solve_speedup_refine"] > 0
+            # Refine solves the identical fine LP: objectives must agree.
+            assert case["refine_objective_matches"]
+            assert case["coarsen_within_guarantee"]
+            assert case["coarsen_slots_final"] is not None
+        summary = scenario["summary"]
+        assert summary["target_speedup"] > 1.0
+        assert summary["all_refine_match"]
+        assert summary["all_coarsen_within_guarantee"]
+        assert summary["geomean_solve_speedup"] > 0
+
+    def test_lp_solve_in_full_report(self):
+        report = run_bench(quick=True, repeats=1, scenarios=["lp_solve"])
+        assert "lp_solve" in report["scenarios"]
+        assert "lp_solve" in report["repeats"]
+        text = format_report(report)
+        assert "Staged solve pipeline" in text
+        assert "geomean refine speedup" in text
 
     def test_simulator_scenario(self):
         scenario = bench_simulator(quick=True, repeats=1)
